@@ -1,0 +1,99 @@
+"""Benches for the extension experiments (the paper's future-work items).
+
+* smart partitioning ([22]) — correlation-aware beats random per epoch;
+* communication/computation trade-off ([23]) — the optimal aggregation
+  granularity depends on the fabric;
+* CoCoA+ sigma' sweep ([24]) — moderate scaling helps, adding diverges;
+* async parameter server ([6]) — bounded staleness converges and hides
+  communication, large batches diverge;
+* heterogeneous cluster — throughput-proportional partitions beat uniform;
+* GLM on the GPU — elastic net and SVM run on the TPA engine.
+"""
+
+import math
+
+import numpy as np
+
+from repro.experiments import (
+    run_async_vs_sync,
+    run_batch_vs_stochastic,
+    run_weak_scaling,
+    run_comm_tradeoff,
+    run_glm_gpu,
+    run_heterogeneous_cluster,
+    run_sigma_sweep,
+    run_smart_partition,
+)
+
+
+def test_ext_smart_partition(figure_runner):
+    fig = figure_runner(run_smart_partition)
+    random_final = fig.get("random").final()
+    smart_final = fig.get("correlation-aware").final()
+    assert smart_final < random_final / 5
+
+
+def test_ext_comm_tradeoff(figure_runner):
+    fig = figure_runner(run_comm_tradeoff)
+    slow = fig.get("10GbE").y
+    fast = fig.get("100GbE").y
+    finite = np.isfinite(slow) & np.isfinite(fast)
+    assert finite.any()
+    # the faster fabric never loses, and tolerates fine granularity better:
+    # at the finest fraction its penalty relative to its own best is smaller
+    assert np.all(fast[finite] <= slow[finite] * 1.05)
+    assert fast[-1] / fast[finite].min() < slow[-1] / slow[finite].min()
+
+
+def test_ext_sigma_sweep(figure_runner):
+    fig = figure_runner(run_sigma_sweep)
+    s1 = fig.get("sigma'=1").final()
+    s2 = fig.get("sigma'=2").final()
+    s8 = fig.get("sigma'=8").final()
+    assert s2 < s1          # moderate scaling accelerates
+    assert s8 > 1e3 * s1    # adding diverges at K=8
+
+
+def test_ext_async_vs_sync(figure_runner):
+    fig = figure_runner(run_async_vs_sync)
+    sync_t = fig.get("synchronous (averaging)").meta["time_to_target"]
+    fine = fig.get("async batch=1/16").meta["time_to_target"]
+    stale = fig.get("async batch=1/4 (too stale)").meta["time_to_target"]
+    assert fine < sync_t
+    assert math.isinf(stale)
+
+
+def test_ext_heterogeneous_cluster(figure_runner):
+    fig = figure_runner(run_heterogeneous_cluster)
+    uni = fig.get("uniform").meta["time_to_target"]
+    prop = fig.get("throughput-proportional").meta["time_to_target"]
+    assert prop < uni
+
+
+def test_ext_glm_gpu(figure_runner):
+    fig = figure_runner(run_glm_gpu)
+    # GPU tracks CPU per-epoch down to the fp32 floor on both objectives
+    assert fig.get("elastic-net TPA").final() < 1e-5
+    assert abs(fig.get("SVM TPA").final()) < 1e-5
+    assert fig.get("elastic-net CPU").final() < 1e-8
+
+
+def test_ext_batch_vs_stochastic(figure_runner):
+    fig = figure_runner(run_batch_vs_stochastic)
+    scd = fig.get("SCD (Algorithm 1)").final()
+    gd = fig.get("Batch GD").final()
+    nesterov = fig.get("Nesterov GD").final()
+    # the Section I motivation: SCD far ahead of plain batch GD per epoch
+    assert scd < gd / 1e3
+    # acceleration helps GD but SCD needs no tuning to stay competitive
+    assert nesterov < gd
+
+
+def test_ext_weak_scaling(figure_runner):
+    fig = figure_runner(run_weak_scaling)
+    gpu = fig.get("distributed TPA-SCD (K workers)").y
+    cpu = fig.get("sequential CPU (same growing data)").y
+    # the cluster absorbs the K-fold data growth; the CPU does not
+    assert gpu[-1] < 3 * gpu[0]
+    assert cpu[-1] > 1.5 * cpu[0]
+    assert np.all(gpu < cpu / 5)

@@ -1,0 +1,42 @@
+"""Fig. 2 — dual convergence of the five solver configurations.
+
+Same comparison as Fig. 1 in the dual formulation; the paper's headline
+35x (Titan X) and 10x (M4000) single-GPU speedups come from this figure.
+"""
+
+import numpy as np
+
+from repro.experiments import SOLVER_LABELS, run_fig2
+
+
+def test_fig2_dual_convergence(figure_runner):
+    fig = figure_runner(run_fig2)
+
+    seq_final = fig.get("SCD (1 thread) | epochs").final()
+    for label in ("A-SCD (16 threads)", "TPA-SCD (M4000)", "TPA-SCD (Titan X)"):
+        assert fig.get(f"{label} | epochs").final() < max(seq_final * 1e4, 1e-7)
+
+    assert fig.get("PASSCoDe-Wild (16 threads) | epochs").final() > 100 * max(
+        seq_final, 1e-16
+    )
+
+    totals = {l: fig.get(f"{l} | time").x[-1] for l in SOLVER_LABELS}
+    assert (
+        totals["TPA-SCD (Titan X)"]
+        < totals["TPA-SCD (M4000)"]
+        < totals["PASSCoDe-Wild (16 threads)"]
+        < totals["A-SCD (16 threads)"]
+        < totals["SCD (1 thread)"]
+    )
+
+    # dual speedup bands: M4000 ~10x, Titan X ~35x
+    seq = fig.get("SCD (1 thread) | time")
+    eps = seq.y[len(seq.y) // 2] * 2
+    t_seq = seq.x[np.nonzero(seq.y <= eps)[0][0]]
+    for label, lo, hi in (
+        ("TPA-SCD (M4000)", 7, 18),
+        ("TPA-SCD (Titan X)", 20, 45),
+    ):
+        s = fig.get(f"{label} | time")
+        t = s.x[np.nonzero(s.y <= eps)[0][0]]
+        assert lo <= t_seq / t <= hi, f"{label}: {t_seq / t:.1f}x outside [{lo},{hi}]"

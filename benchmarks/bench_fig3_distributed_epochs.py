@@ -1,0 +1,33 @@
+"""Fig. 3 — distributed SCD convergence vs epochs for K = 1, 2, 4, 8.
+
+Both panels: (a) primal with the data partitioned by feature, (b) dual with
+the data partitioned by example.  Expected shape: an approximately linear
+slow-down in per-epoch convergence as K grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig3
+
+
+@pytest.mark.parametrize("formulation", ["primal", "dual"])
+def test_fig3_distributed_epochs(figure_runner, formulation):
+    fig = figure_runner(run_fig3, formulation)
+    finals = [s.final() for s in fig.series]
+    ks = [s.meta["n_workers"] for s in fig.series]
+    assert ks == [1, 2, 4, 8]
+
+    # all configurations converge...
+    assert all(f < fig.series[0].y[0] for f in finals)
+    # ...but per-epoch convergence degrades monotonically with K
+    # (allow equality at float precision floors)
+    for a, b in zip(finals, finals[1:]):
+        assert a <= b * 1.5 + 1e-15
+
+    # the K=8 run needs visibly more epochs than K=1 to a target both
+    # reach (geometric midpoint between the initial gap and K=8's final)
+    eps = np.sqrt(max(finals[-1], 1e-14) * fig.series[0].y[0])
+    e1 = fig.series[0].x[np.nonzero(fig.series[0].y <= eps)[0][0]]
+    e8 = fig.series[-1].x[np.nonzero(fig.series[-1].y <= eps)[0][0]]
+    assert e8 > e1

@@ -1,0 +1,35 @@
+"""Fig. 5 — evolution of the optimal aggregation parameter gamma_t.
+
+Expected shape: gamma starts relatively low, rises, and settles at a value
+significantly larger than the averaging value 1/K, for every K.  (After the
+run has fully converged the updates vanish and gamma* degenerates, so the
+assertion uses the driver's "settled" gamma — the value while the run is
+still meaningfully optimizing, which is what the paper's plateaus show.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig5
+
+
+@pytest.mark.parametrize("formulation", ["primal", "dual"])
+def test_fig5_gamma_evolution(figure_runner, formulation):
+    fig = figure_runner(run_fig5, formulation)
+    assert [s.meta["n_workers"] for s in fig.series] == [1, 2, 4, 8]
+
+    settled = {}
+    for series in fig.series:
+        k = series.meta["n_workers"]
+        gamma = series.meta["settled_gamma"]
+        settled[k] = gamma
+        if k == 1:
+            # a lone worker's optimal step is essentially the full update
+            assert 0.7 < gamma < 1.6
+        else:
+            # significantly above the averaging value 1/K
+            assert gamma > 1.2 / k
+        assert np.isfinite(series.y).all()
+
+    # larger clusters settle at smaller gamma (but still > 1/K)
+    assert settled[8] < settled[1]

@@ -1,0 +1,34 @@
+"""Fig. 6 — time to reach duality-gap targets vs number of workers.
+
+Expected shape: with adaptive aggregation, scaling out keeps training time
+roughly constant (the K-fold compute speedup cancels the K-fold per-epoch
+convergence slow-down); adaptive is no slower than averaging at tight
+targets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EPS_TARGETS, run_fig6
+
+
+@pytest.mark.parametrize("formulation", ["primal", "dual"])
+def test_fig6_time_to_gap(figure_runner, formulation):
+    fig = figure_runner(run_fig6, formulation)
+
+    # every (rule, eps) series present, one point per worker count
+    assert len(fig.series) == 2 * len(EPS_TARGETS)
+    for s in fig.series:
+        assert s.x.tolist() == [1.0, 2.0, 4.0, 8.0]
+        assert np.all(np.isfinite(s.y)), f"{s.label} missed its target"
+
+    for eps in EPS_TARGETS:
+        avg = fig.get(f"Averaging eps={eps:g}").y
+        ada = fig.get(f"Adaptive eps={eps:g}").y
+        # the paper's claim: scaling out does NOT blow up training time —
+        # each curve stays within a small factor of its K=1 point (on the
+        # reproduction it often *improves* with K, which also passes)
+        assert np.all(avg <= 3.0 * avg[0])
+        assert np.all(ada <= 3.0 * ada[0])
+        # adaptive at least as fast as averaging at K=8 (tight targets)
+        assert ada[-1] <= avg[-1] * 1.2

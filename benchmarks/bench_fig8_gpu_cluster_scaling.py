@@ -1,0 +1,32 @@
+"""Fig. 8 — distributed TPA-SCD vs distributed SCD across GPU clusters.
+
+(a) Quadro M4000 cluster over 10 GbE; (b) GTX Titan X cluster over PCIe.
+Expected shape: TPA-SCD sits roughly an order of magnitude below SCD at
+every worker count, with similarly flat scaling (the paper reports ~10x on
+the M4000 cluster and ~30x on the Titan X cluster).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EPS_TARGETS, run_fig8
+
+
+@pytest.mark.parametrize("cluster,min_speedup", [("m4000", 5), ("titanx", 15)])
+def test_fig8_gpu_cluster_scaling(figure_runner, cluster, min_speedup):
+    fig = figure_runner(run_fig8, cluster)
+
+    for eps in EPS_TARGETS:
+        scd = fig.get(f"SCD eps={eps:g}").y
+        tpa = fig.get(f"TPA-SCD eps={eps:g}").y
+        finite = np.isfinite(scd) & np.isfinite(tpa)
+        assert finite.any()
+        # the GPU cluster is at least min_speedup x faster wherever both ran
+        assert np.all(scd[finite] / tpa[finite] >= min_speedup), (
+            f"eps={eps}: speedups {scd[finite] / tpa[finite]}"
+        )
+
+    # flat-ish scaling for the loosest target
+    loose = fig.get(f"TPA-SCD eps={EPS_TARGETS[0]:g}").y
+    assert np.all(np.isfinite(loose))
+    assert loose.max() < 6 * loose.min()

@@ -1,0 +1,33 @@
+"""Fig. 9 — computation vs communication breakdown on the M4000 cluster.
+
+Expected shape: GPU compute dominates total time at every K; communication
+time grows with the number of workers but remains a minority share (the
+paper reports ~17% at K=8).
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_comm_breakdown(figure_runner):
+    fig = figure_runner(run_fig9)
+
+    gpu = fig.get("Comp. Time (GPU)").y
+    host = fig.get("Comp. Time (Host)").y
+    pcie = fig.get("Comm. Time (PCIe)").y
+    net = fig.get("Comm. Time (Network)").y
+
+    assert np.all(gpu > 0)
+    assert net[0] == 0.0  # single worker: no network hop
+    assert np.all(np.diff(net) > 0)  # communication grows with K
+
+    totals = gpu + host + pcie + net
+    comm_share = (pcie + net) / totals
+    # GPU compute dominates everywhere; communication stays a minority
+    assert np.all(gpu / totals > 0.5)
+    assert np.all(comm_share < 0.45)
+    print(
+        "\ncommunication share by K:",
+        {k: f"{s:.0%}" for k, s in zip((1, 2, 4, 8), comm_share)},
+    )

@@ -1,0 +1,31 @@
+"""Headline speed-up table (abstract / Sections I and VI).
+
+Measures every summary speedup the paper claims and checks each lands in a
+band around the published value:
+
+* A-SCD ~2x, PASSCoDe-Wild ~4x over 1-thread CPU;
+* TPA-SCD M4000 ~10x, Titan X ~35x over 1-thread CPU (dual webspam);
+* distributed TPA-SCD ~40x over distributed 1-thread SCD and ~20x over
+  distributed PASSCoDe on the criteo-like sample (K=4).
+"""
+
+from repro.experiments import run_headline
+
+BANDS = {
+    "A-SCD (16 threads)": (1.4, 3.0),
+    "PASSCoDe-Wild (16 threads)": (2.5, 6.0),
+    "TPA-SCD (M4000)": (7.0, 18.0),
+    "TPA-SCD (Titan X)": (20.0, 45.0),
+    "dist TPA-SCD vs dist SCD (K=4)": (25.0, 70.0),
+    "dist TPA-SCD vs dist PASSCoDe (K=4)": (8.0, 30.0),
+}
+
+
+def test_headline_speedups(figure_runner):
+    fig = figure_runner(run_headline)
+    measured = fig.get("measured speedup")
+    rows = dict(zip(measured.meta["rows"], measured.y))
+    for name, (lo, hi) in BANDS.items():
+        assert lo <= rows[name] <= hi, (
+            f"{name}: measured {rows[name]:.1f}x outside [{lo}, {hi}]"
+        )

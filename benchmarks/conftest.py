@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Every bench runs one figure driver exactly once under pytest-benchmark
+(``pedantic(rounds=1)``): the drivers are end-to-end experiments, not
+micro-kernels, so statistical repetition would only burn time.  Each bench
+prints the figure's series — the same rows the paper's plots show — and
+asserts the qualitative *shape* claims the paper makes.
+
+Scale is controlled by ``REPRO_SCALE`` (quick | full), defaulting to quick.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.results import FigureResult
+
+
+def run_once(benchmark, fn, *args, **kwargs) -> FigureResult:
+    """Execute a figure driver once under the benchmark timer and print it."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.render_text())
+    return result
+
+
+@pytest.fixture
+def figure_runner(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

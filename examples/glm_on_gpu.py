@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Extension example: elastic net and SVM on the generalized TPA engine.
+
+The paper motivates stochastic coordinate methods for "other problems such
+as regression with elastic net regularization as well as support vector
+machines".  This example runs both on the simulated GPU via the generalized
+TPA engine (same wave-scheduled thread blocks, tree-reduced inner products,
+atomic scatter — only the closed-form scalar update differs) and compares
+each against its CPU counterpart.
+
+Run:  python examples/glm_on_gpu.py
+"""
+
+import numpy as np
+
+from repro import (
+    ElasticNetCD,
+    ElasticNetProblem,
+    SvmProblem,
+    SvmSdca,
+    make_webspam_like,
+)
+from repro.core import TpaElasticNet, TpaSvm
+from repro.gpu import GTX_TITAN_X, KernelProfile
+
+
+def main() -> None:
+    data = make_webspam_like(1_000, 3_000, nnz_per_example=40, seed=7)
+    print(data.describe(), "\n")
+
+    # elastic net: CPU coordinate descent vs GPU TPA engine
+    enp = ElasticNetProblem(data, lam=5e-3, l1_ratio=0.5)
+    beta_cpu, h_cpu = ElasticNetCD(seed=0).solve(enp, 20, monitor_every=4)
+    beta_gpu, h_gpu = TpaElasticNet(GTX_TITAN_X, wave_size=2, seed=0).solve(
+        enp, 20, monitor_every=4
+    )
+    print("elastic net (l1_ratio=0.5)   KKT violation per epoch")
+    print("  epoch      CPU          TPA (Titan X)")
+    for rc, rg in zip(h_cpu, h_gpu):
+        print(f"  {rc.epoch:5d}  {rc.gap:11.3e}  {rg.gap:11.3e}")
+    print(
+        f"  nnz(beta): CPU {np.count_nonzero(beta_cpu)}, "
+        f"GPU {np.count_nonzero(beta_gpu)} of {data.n_features}\n"
+    )
+
+    # SVM: SDCA vs GPU TPA engine, with kernel profiling
+    svm = SvmProblem(data, lam=1e-2)
+    prof = KernelProfile()
+    w_cpu, _, hs_cpu = SvmSdca(seed=0).solve(svm, 15, monitor_every=3)
+    w_gpu, _, hs_gpu = TpaSvm(
+        GTX_TITAN_X, wave_size=2, seed=0, profiler=prof
+    ).solve(svm, 15, monitor_every=3)
+    print("SVM (hinge, SDCA)   duality gap per epoch")
+    print("  epoch      CPU          TPA (Titan X)")
+    for rc, rg in zip(hs_cpu, hs_gpu):
+        print(f"  {rc.epoch:5d}  {rc.gap:11.3e}  {rg.gap:11.3e}")
+    acc_cpu = float(np.mean(svm.predict(w_cpu) == data.y))
+    acc_gpu = float(np.mean(svm.predict(w_gpu) == data.y))
+    print(f"  train accuracy: CPU {acc_cpu:.3f}, GPU {acc_gpu:.3f}\n")
+
+    print("simulated-kernel profile (SVM run):")
+    for key, val in prof.summary().items():
+        print(f"  {key:>16}: {val:,.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""repro — reproduction of "Large-Scale Stochastic Learning using GPUs".
+
+Parnell, Dünner, Atasu, Sifalakis & Pozidis (IPPS/IPDPSW 2017,
+arXiv:1702.07005): TPA-SCD on a simulated GPU, distributed SCD with
+adaptive aggregation, and the paper's full benchmark suite.
+
+Public API surface re-exports the pieces most users need; subpackages expose
+the full substrates (``repro.sparse``, ``repro.gpu``, ``repro.cluster``,
+``repro.experiments``, ...).
+"""
+
+from .core import (
+    CRITEO_PAPER,
+    WEBSPAM_PAPER,
+    AdaptiveAggregator,
+    AddingAggregator,
+    AveragingAggregator,
+    DistributedSCD,
+    DistributedTrainResult,
+    PaperScale,
+    TpaScd,
+    TpaScdKernelFactory,
+    scaled_wave_size,
+)
+from .data import (
+    Dataset,
+    load_libsvm,
+    make_criteo_like,
+    make_dense_gaussian,
+    make_sparse_regression,
+    make_webspam_like,
+    save_libsvm,
+    train_test_split,
+)
+from .metrics import ConvergenceHistory, ConvergenceRecord, speedup
+from .objectives import (
+    ElasticNetProblem,
+    LogisticProblem,
+    RidgeProblem,
+    SvmProblem,
+    solve_exact,
+)
+from .solvers import (
+    ASCD,
+    ElasticNetCD,
+    LogisticSdca,
+    PASSCoDeWild,
+    ScdSolver,
+    SequentialSCD,
+    SvmSdca,
+    TrainResult,
+    elastic_net_path,
+    lambda_grid,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # data
+    "Dataset",
+    "load_libsvm",
+    "save_libsvm",
+    "train_test_split",
+    "make_criteo_like",
+    "make_dense_gaussian",
+    "make_sparse_regression",
+    "make_webspam_like",
+    # metrics
+    "ConvergenceHistory",
+    "ConvergenceRecord",
+    "speedup",
+    # objectives
+    "RidgeProblem",
+    "solve_exact",
+    "ElasticNetProblem",
+    "SvmProblem",
+    "LogisticProblem",
+    # CPU solvers
+    "ASCD",
+    "PASSCoDeWild",
+    "ScdSolver",
+    "SequentialSCD",
+    "TrainResult",
+    "ElasticNetCD",
+    "elastic_net_path",
+    "lambda_grid",
+    "SvmSdca",
+    "LogisticSdca",
+    # paper contributions
+    "TpaScd",
+    "TpaScdKernelFactory",
+    "scaled_wave_size",
+    "DistributedSCD",
+    "DistributedTrainResult",
+    "AveragingAggregator",
+    "AddingAggregator",
+    "AdaptiveAggregator",
+    "PaperScale",
+    "WEBSPAM_PAPER",
+    "CRITEO_PAPER",
+    "__version__",
+]

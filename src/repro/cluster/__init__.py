@@ -1,0 +1,35 @@
+"""Cluster substrate: partitioners, smart partitioning, simulated MPI."""
+
+from ..perf.link import ETHERNET_10G, ETHERNET_100G, Link
+from .comm import SimCommunicator
+from .mp_cluster import MpDistributedSCD
+from .partition import (
+    balanced_nnz_partition,
+    contiguous_partition,
+    proportional_partition,
+    random_partition,
+)
+from .smart_partition import (
+    communities_of,
+    cooccurrence_graph,
+    correlation_aware_partition,
+    make_correlation_partitioner,
+    pack_communities,
+)
+
+__all__ = [
+    "SimCommunicator",
+    "MpDistributedSCD",
+    "random_partition",
+    "contiguous_partition",
+    "balanced_nnz_partition",
+    "proportional_partition",
+    "cooccurrence_graph",
+    "communities_of",
+    "pack_communities",
+    "correlation_aware_partition",
+    "make_correlation_partitioner",
+    "Link",
+    "ETHERNET_10G",
+    "ETHERNET_100G",
+]

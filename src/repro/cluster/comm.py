@@ -1,0 +1,114 @@
+"""MPI-style simulated communicator.
+
+The paper's distributed implementation "leverages the Broadcast and Reduce
+functions that are offered by the Open MPI library" over 10 Gbit Ethernet.
+This module provides the same collective semantics in-process, paired with a
+binomial-tree cost model over a :class:`~repro.perf.link.Link` so every
+collective returns both its *result* and its modelled *seconds*.
+
+The functional results are exact (numpy reductions); only the time is
+modelled.  The mpi4py buffer-protocol idiom of separating small "pickled"
+control messages from large array payloads is mirrored by
+:meth:`SimCommunicator.scalars_seconds`, which prices the handful of extra
+scalars adaptive aggregation ships per epoch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..perf.link import ETHERNET_10G, Link
+
+__all__ = ["SimCommunicator"]
+
+
+class SimCommunicator:
+    """Collectives over ``n_workers`` simulated ranks connected by ``link``.
+
+    Cost model: Open MPI's default binomial-tree algorithms perform
+    ``ceil(log2(n_workers))`` sequential rounds for both Reduce and Bcast;
+    each round moves the full payload across one link.  With one worker the
+    collectives are free (no network hop), matching the paper's K=1 curves.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        link: Link = ETHERNET_10G,
+        *,
+        algorithm: str = "tree",
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if algorithm not in ("tree", "ring"):
+            raise ValueError(f"unknown collective algorithm {algorithm!r}")
+        self.n_workers = int(n_workers)
+        self.link = link
+        self.algorithm = algorithm
+
+    # -- cost model -----------------------------------------------------------
+    def _rounds(self) -> int:
+        return math.ceil(math.log2(self.n_workers)) if self.n_workers > 1 else 0
+
+    def reduce_seconds(self, nbytes: int | float) -> float:
+        """Modelled time to reduce a payload of ``nbytes`` onto the master.
+
+        ``tree``: Open MPI's binomial tree — ``ceil(log2 K)`` full-payload
+        rounds.  ``ring``: the bandwidth-optimal reduce-scatter half of a
+        ring allreduce — ``(K-1)/K`` of the payload crosses each link, with
+        ``K-1`` latency hops; better for large payloads at large K.
+        """
+        if self.n_workers == 1:
+            return 0.0
+        if self.algorithm == "tree":
+            return self._rounds() * self.link.transfer_seconds(nbytes)
+        k = self.n_workers
+        per_step = self.link.transfer_seconds(nbytes / k)
+        return (k - 1) * per_step
+
+    def bcast_seconds(self, nbytes: int | float) -> float:
+        """Modelled time to broadcast ``nbytes`` from the master.
+
+        Ring mode prices the allgather half of a ring allreduce.
+        """
+        return self.reduce_seconds(nbytes)
+
+    def allreduce_seconds(self, nbytes: int | float) -> float:
+        """Reduce followed by broadcast (the paper's aggregation round)."""
+        return self.reduce_seconds(nbytes) + self.bcast_seconds(nbytes)
+
+    def scalars_seconds(self, n_scalars: int) -> float:
+        """Price the extra few float64 scalars adaptive aggregation ships."""
+        if n_scalars < 0:
+            raise ValueError("n_scalars must be non-negative")
+        if self.n_workers == 1 or n_scalars == 0:
+            return 0.0
+        return self.reduce_seconds(8 * n_scalars)
+
+    # -- functional collectives --------------------------------------------------
+    def reduce_sum(self, contributions: Sequence[np.ndarray]) -> np.ndarray:
+        """Element-wise sum of one array per rank (master-side result)."""
+        if len(contributions) != self.n_workers:
+            raise ValueError(
+                f"expected {self.n_workers} contributions, got {len(contributions)}"
+            )
+        out = np.array(contributions[0], dtype=np.float64, copy=True)
+        for c in contributions[1:]:
+            if c.shape != out.shape:
+                raise ValueError("contributions must share a shape")
+            out += c
+        return out
+
+    def reduce_scalar_sum(self, values: Sequence[float]) -> float:
+        if len(values) != self.n_workers:
+            raise ValueError(
+                f"expected {self.n_workers} values, got {len(values)}"
+            )
+        return float(np.sum(np.asarray(values, dtype=np.float64)))
+
+    def bcast(self, array: np.ndarray) -> list[np.ndarray]:
+        """Deliver an independent copy of ``array`` to every rank."""
+        return [array.copy() for _ in range(self.n_workers)]

@@ -1,0 +1,310 @@
+"""Distributed SCD over real OS processes (validation backend).
+
+The simulation engine (`repro.core.distributed.DistributedSCD`) executes the
+workers' epochs in-process and *models* time.  This backend executes the
+same Algorithm 3/4 with each worker in its own ``multiprocessing`` process,
+communicating shared-vector deltas over pipes — true parallel execution
+with real synchronization.
+
+Because both backends run identical kernels with identical permutation
+streams (same seeds, same partitioner), their trajectories must agree to
+floating-point equality; ``tests/test_mp_cluster.py`` asserts exactly that,
+which is the strongest available check that the simulated engine's
+*semantics* (as opposed to its time model) are faithful.
+
+Scope: sequential-SCD local solvers (the paper's CPU cluster), both
+formulations, averaging/adaptive/adding aggregation.  The GPU solvers stay
+simulation-only — their device model has no OS-process counterpart.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..core.aggregation import AggregationStats, make_aggregator
+from ..core.distributed import DistributedTrainResult
+from ..metrics import ConvergenceHistory, ConvergenceRecord
+from ..objectives.ridge import RidgeProblem
+from ..perf.ledger import TimeLedger
+from ..solvers.kernels import dual_epoch_sequential, primal_epoch_sequential
+from .partition import random_partition
+
+__all__ = ["MpDistributedSCD"]
+
+
+def _worker_loop(conn, payload: dict) -> None:
+    """Child process: bind the local partition, then serve epoch requests.
+
+    Protocol: parent sends ``("epoch", shared_vector)`` and receives
+    ``(dshared, dweights_stats, elapsed_s)``; ``("stop", None)`` exits.
+    """
+    formulation = payload["formulation"]
+    indptr = payload["indptr"]
+    indices = payload["indices"]
+    data = payload["data"]
+    y = payload["y"]
+    n_global = payload["n_global"]
+    lam = payload["lam"]
+    n_local = payload["n_local"]
+    rng = np.random.default_rng(payload["perm_seed"])
+    weights = np.zeros(n_local)
+
+    nlam = n_global * lam
+    if formulation == "primal":
+        # y here is the global label vector; precompute <y, a_m>
+        y_dots = np.zeros(n_local)
+        for j in range(n_local):
+            lo, hi = indptr[j], indptr[j + 1]
+            y_dots[j] = data[lo:hi] @ y[indices[lo:hi]]
+        norms = np.zeros(n_local)
+        for j in range(n_local):
+            lo, hi = indptr[j], indptr[j + 1]
+            norms[j] = data[lo:hi] @ data[lo:hi]
+        inv_denom = 1.0 / (norms + nlam)
+    else:
+        norms = np.zeros(n_local)
+        for j in range(n_local):
+            lo, hi = indptr[j], indptr[j + 1]
+            norms[j] = data[lo:hi] @ data[lo:hi]
+        inv_denom = 1.0 / (nlam + norms)
+
+    while True:
+        msg, shared = conn.recv()
+        if msg == "stop":
+            conn.close()
+            return
+        t0 = time.perf_counter()
+        local_shared = shared.copy()
+        weights_work = weights.copy()
+        perm = rng.permutation(n_local)
+        if formulation == "primal":
+            primal_epoch_sequential(
+                indptr, indices, data, y_dots, inv_denom, nlam,
+                weights_work, local_shared, perm,
+            )
+        else:
+            dual_epoch_sequential(
+                indptr, indices, data, y, inv_denom, lam, nlam,
+                weights_work, local_shared, perm,
+            )
+        dweights = weights_work - weights
+        stats = (
+            float(weights @ dweights),
+            float(dweights @ dweights),
+            float(dweights @ y[:n_local]) if formulation == "dual" else 0.0,
+        )
+        elapsed = time.perf_counter() - t0
+        conn.send((local_shared - shared, dweights, stats, elapsed))
+        # the parent applies gamma and returns it with the next epoch's
+        # broadcast; fold the previous delta lazily
+        gamma = conn.recv()
+        weights = weights + gamma * dweights
+
+
+class MpDistributedSCD:
+    """Algorithm 3/4 executed across real worker processes.
+
+    Mirrors the simulation engine's constructor where applicable; local
+    solvers are sequential SCD (the paper's CPU-cluster configuration).
+    """
+
+    def __init__(
+        self,
+        formulation: str = "dual",
+        *,
+        n_workers: int = 2,
+        aggregation: str = "averaging",
+        seed: int = 0,
+        mp_context: str | None = None,
+    ) -> None:
+        if formulation not in ("primal", "dual"):
+            raise ValueError(f"unknown formulation {formulation!r}")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.formulation = formulation
+        self.n_workers = int(n_workers)
+        self.aggregator = make_aggregator(aggregation)
+        self.seed = int(seed)
+        self._ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
+        self.name = (
+            f"MpDistributed[SCD x{self.n_workers}, "
+            f"{self.aggregator.name}, {formulation}]"
+        )
+
+    # -- helpers ------------------------------------------------------------
+    def _partitions(self, problem: RidgeProblem) -> list[np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        n_coords = problem.m if self.formulation == "primal" else problem.n
+        return list(random_partition(n_coords, self.n_workers, rng))
+
+    def _payloads(self, problem: RidgeProblem, parts: Sequence[np.ndarray]):
+        if self.formulation == "primal":
+            matrix = problem.dataset.csc
+        else:
+            matrix = problem.dataset.csr
+        payloads = []
+        for rank, coords in enumerate(parts):
+            local = matrix.take_major(coords)
+            y_local = (
+                problem.y.astype(np.float64)
+                if self.formulation == "primal"
+                else problem.y[coords].astype(np.float64)
+            )
+            payloads.append(
+                {
+                    "formulation": self.formulation,
+                    "indptr": local.indptr,
+                    "indices": local.indices,
+                    "data": local.data.astype(np.float64),
+                    "y": y_local,
+                    "n_global": problem.n,
+                    "lam": problem.lam,
+                    "n_local": coords.shape[0],
+                    "perm_seed": self.seed + 1000 + rank,
+                }
+            )
+        return payloads
+
+    def _gap(self, weights: np.ndarray, problem: RidgeProblem):
+        if self.formulation == "primal":
+            return problem.primal_gap(weights), problem.primal_objective(weights)
+        return problem.dual_gap(weights), problem.dual_objective(weights)
+
+    # -- training ------------------------------------------------------------------
+    def solve(
+        self,
+        problem: RidgeProblem,
+        n_epochs: int,
+        *,
+        monitor_every: int = 1,
+        target_gap: float | None = None,
+    ) -> DistributedTrainResult:
+        if n_epochs < 0:
+            raise ValueError("n_epochs must be non-negative")
+        if monitor_every < 1:
+            raise ValueError("monitor_every must be >= 1")
+        parts = self._partitions(problem)
+        payloads = self._payloads(problem, parts)
+        shared_len = problem.n if self.formulation == "primal" else problem.m
+        shared = np.zeros(shared_len)
+        weights_by_rank = [np.zeros(p.shape[0]) for p in parts]
+        history = ConvergenceHistory(label=self.name)
+        ledger = TimeLedger()
+        gammas: list[float] = []
+
+        pipes = []
+        procs = []
+        try:
+            for payload in payloads:
+                parent_conn, child_conn = self._ctx.Pipe()
+                proc = self._ctx.Process(
+                    target=_worker_loop, args=(child_conn, payload), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                pipes.append(parent_conn)
+                procs.append(proc)
+
+            t0 = time.perf_counter()
+            weights = self._assemble(parts, weights_by_rank, problem)
+            gap, obj = self._gap(weights, problem)
+            history.append(
+                ConvergenceRecord(
+                    epoch=0, gap=gap, objective=obj,
+                    sim_time=0.0, wall_time=0.0, updates=0,
+                )
+            )
+            updates = 0
+            for epoch in range(1, n_epochs + 1):
+                for conn in pipes:
+                    conn.send(("epoch", shared))
+                dshared_total = np.zeros(shared_len)
+                model_dot = 0.0
+                dmodel_norm = 0.0
+                dmodel_y = 0.0
+                dweights_by_rank = []
+                max_worker_s = 0.0
+                for rank, conn in enumerate(pipes):
+                    dshared, dweights, stats, elapsed = conn.recv()
+                    dshared_total += dshared
+                    dweights_by_rank.append(dweights)
+                    model_dot += stats[0]
+                    dmodel_norm += stats[1]
+                    dmodel_y += stats[2]
+                    max_worker_s = max(max_worker_s, elapsed)
+                    updates += parts[rank].shape[0]
+                if self.formulation == "primal":
+                    resid_dot = float((shared - problem.y) @ dshared_total)
+                else:
+                    resid_dot = float(shared @ dshared_total)
+                gamma = self.aggregator.gamma(
+                    AggregationStats(
+                        formulation=self.formulation,
+                        n=problem.n,
+                        lam=problem.lam,
+                        n_workers=self.n_workers,
+                        resid_dot_dshared=resid_dot,
+                        dshared_norm_sq=float(dshared_total @ dshared_total),
+                        model_dot_dmodel=model_dot,
+                        dmodel_norm_sq=dmodel_norm,
+                        dmodel_dot_y=dmodel_y,
+                    )
+                )
+                gammas.append(gamma)
+                shared += gamma * dshared_total
+                for rank, conn in enumerate(pipes):
+                    conn.send(gamma)
+                    weights_by_rank[rank] = (
+                        weights_by_rank[rank] + gamma * dweights_by_rank[rank]
+                    )
+                ledger.add("compute_host", max_worker_s)
+                if epoch % monitor_every == 0 or epoch == n_epochs:
+                    weights = self._assemble(parts, weights_by_rank, problem)
+                    gap, obj = self._gap(weights, problem)
+                    history.append(
+                        ConvergenceRecord(
+                            epoch=epoch,
+                            gap=gap,
+                            objective=obj,
+                            sim_time=time.perf_counter() - t0,
+                            wall_time=time.perf_counter() - t0,
+                            updates=updates,
+                            extras={"gamma": gamma},
+                        )
+                    )
+                    if target_gap is not None and gap <= target_gap:
+                        break
+        finally:
+            for conn in pipes:
+                try:
+                    conn.send(("stop", None))
+                    conn.close()
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in procs:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - hung child guard
+                    proc.terminate()
+
+        weights = self._assemble(parts, weights_by_rank, problem)
+        return DistributedTrainResult(
+            formulation=self.formulation,
+            weights=weights,
+            shared=shared,
+            history=history,
+            ledger=ledger,
+            partitions=parts,
+            solver_name=self.name,
+            gammas=gammas,
+        )
+
+    def _assemble(self, parts, weights_by_rank, problem) -> np.ndarray:
+        n_coords = problem.m if self.formulation == "primal" else problem.n
+        out = np.zeros(n_coords)
+        for coords, w in zip(parts, weights_by_rank):
+            out[coords] = w
+        return out

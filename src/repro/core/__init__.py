@@ -1,0 +1,50 @@
+"""The paper's contributions: TPA-SCD, distributed SCD, adaptive aggregation.
+
+Also hosts the extension engines: the asynchronous parameter-server
+alternative and the additional aggregation rules.
+"""
+
+from .aggregation import (
+    AdaptiveAggregator,
+    AddingAggregator,
+    AggregationStats,
+    Aggregator,
+    AveragingAggregator,
+    LineSearchAggregator,
+    ScaledAggregator,
+    make_aggregator,
+)
+from .async_ps import AsyncParameterServer
+from .distributed import DistributedSCD, DistributedTrainResult, HostModel
+from .distributed_svm import DistributedSvm
+from .glm_tpa import TpaElasticNet, TpaSvm
+from .planner import ClusterSpec, ExecutionPlan, plan_execution
+from .scale import CRITEO_PAPER, WEBSPAM_PAPER, PaperScale
+from .tpa_scd import TpaScd, TpaScdKernelFactory, scaled_wave_size
+
+__all__ = [
+    "AdaptiveAggregator",
+    "AddingAggregator",
+    "AggregationStats",
+    "Aggregator",
+    "AveragingAggregator",
+    "LineSearchAggregator",
+    "ScaledAggregator",
+    "make_aggregator",
+    "AsyncParameterServer",
+    "DistributedSCD",
+    "DistributedSvm",
+    "DistributedTrainResult",
+    "HostModel",
+    "PaperScale",
+    "WEBSPAM_PAPER",
+    "CRITEO_PAPER",
+    "TpaScd",
+    "TpaScdKernelFactory",
+    "scaled_wave_size",
+    "TpaElasticNet",
+    "TpaSvm",
+    "ClusterSpec",
+    "ExecutionPlan",
+    "plan_execution",
+]

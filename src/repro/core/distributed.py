@@ -1,0 +1,403 @@
+"""Distributed synchronous SCD (Algorithms 3 and 4, and Section V).
+
+One engine covers all three distributed configurations in the paper:
+
+* Algorithm 3 — distributed SCD with averaging aggregation, CPU local
+  solvers, data partitioned by feature (primal) or by example (dual);
+* Algorithm 4 — the same with adaptively-optimized aggregation;
+* Section V   — distributed TPA-SCD: GPU local solvers, with the shared
+  vector crossing PCIe on and off each device every epoch.
+
+Every epoch follows the paper's synchronous scheme:
+
+1. each worker runs one local epoch against its copy of the shared vector;
+2. shared-vector deltas are Reduced to the master (binomial-tree network
+   cost) together with the adaptive rule's few scalars;
+3. the master computes gamma_t, applies the aggregated update and
+   Broadcasts the new shared vector;
+4. workers fold ``gamma_t * dmodel`` into their local weights.
+
+Modelled wall-clock per epoch = max over workers of local compute
+(+ host-side vector handling and PCIe transfers for GPU workers)
++ Reduce + Broadcast network time; each term is booked into a
+:class:`~repro.perf.ledger.TimeLedger` so Fig. 9's breakdown is a direct
+read-out.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..cluster.comm import SimCommunicator
+from ..cluster.partition import random_partition
+from ..metrics import ConvergenceHistory, ConvergenceRecord
+from ..objectives.ridge import RidgeProblem
+from ..perf.ledger import TimeLedger
+from ..perf.link import Link
+from ..solvers.base import BoundKernel, KernelFactory
+from .aggregation import AggregationStats, Aggregator, make_aggregator
+from .scale import PaperScale
+
+__all__ = ["DistributedSCD", "DistributedTrainResult", "HostModel"]
+
+
+@dataclass(frozen=True)
+class HostModel:
+    """Host-side per-epoch vector handling for GPU workers.
+
+    Each epoch the worker's host assembles the delta buffer, stages the
+    pinned transfer and unpacks the broadcast shared vector —
+    ``vector_passes`` streaming passes over the shared vector at
+    ``bandwidth_gbytes`` effective memory bandwidth.
+    """
+
+    vector_passes: int = 4
+    bandwidth_gbytes: float = 8.0
+
+    def epoch_seconds(self, shared_len: int, itemsize: int = 4) -> float:
+        return self.vector_passes * shared_len * itemsize / (
+            self.bandwidth_gbytes * 1e9
+        )
+
+
+@dataclass
+class _WorkerState:
+    coords: np.ndarray
+    bound: BoundKernel
+    weights: np.ndarray
+    y_local: np.ndarray
+    rng: np.random.Generator
+    epoch_compute_s: float
+    perm: np.ndarray | None = None
+    cursor: int = 0
+
+    def next_coords(self, count: int) -> np.ndarray:
+        """The next ``count`` local coordinates of the permutation stream.
+
+        Fresh random permutations are chained so partial rounds still visit
+        every coordinate exactly once per full pass (epoch-equivalent).
+        """
+        out: list[np.ndarray] = []
+        remaining = count
+        n_local = self.coords.shape[0]
+        while remaining > 0:
+            if self.perm is None or self.cursor >= n_local:
+                self.perm = self.rng.permutation(n_local)
+                self.cursor = 0
+            take = min(remaining, n_local - self.cursor)
+            out.append(self.perm[self.cursor : self.cursor + take])
+            self.cursor += take
+            remaining -= take
+        return np.concatenate(out) if len(out) > 1 else out[0]
+
+
+@dataclass
+class DistributedTrainResult:
+    """Outcome of a distributed run."""
+
+    formulation: str
+    weights: np.ndarray
+    shared: np.ndarray
+    history: ConvergenceHistory
+    ledger: TimeLedger
+    partitions: list[np.ndarray]
+    solver_name: str
+    gammas: list[float]
+
+
+class DistributedSCD:
+    """The synchronous distributed training engine.
+
+    Parameters
+    ----------
+    worker_factory:
+        A :class:`KernelFactory` shared by all workers, or a callable
+        ``rank -> KernelFactory`` (required for GPU workers, which each own
+        a device).  When ``paper_scale`` is given, the engine sets each
+        factory's ``timing_workload`` to that worker's paper-scale share.
+    formulation:
+        ``"primal"`` partitions by feature; ``"dual"`` partitions by example.
+    n_workers:
+        K, the number of workers.
+    aggregation:
+        ``"averaging"`` (Algorithm 3), ``"adaptive"`` (Algorithm 4),
+        ``"adding"``, or an :class:`Aggregator` instance.
+    network:
+        Inter-worker link (default 10 GbE as in the paper's CPU/M4000
+        clusters); pass the PCIe link for the single-box Titan X cluster.
+    pcie:
+        When set, each epoch additionally pays two shared-vector transfers
+        per worker over this link (device<->host staging, overlapped across
+        workers) — the Section V data path.
+    host_model:
+        Host-side vector handling cost, only applied when ``pcie`` is set.
+    paper_scale:
+        Original dataset dimensions used to price compute and communication.
+    round_fraction:
+        Fraction of a worker's local coordinates processed between
+        aggregation rounds (default 1.0, the paper's one-epoch rounds).
+        Smaller fractions communicate more often: convergence per coordinate
+        update improves (fresher shared vector) at the cost of more network
+        rounds — the infrastructure-dependent trade-off of Duenner et al.
+        [23], which the paper points to as future tuning.  With
+        ``round_fraction < 1`` each history "epoch" is one aggregation
+        round.
+    """
+
+    def __init__(
+        self,
+        worker_factory: KernelFactory | Callable[[int], KernelFactory],
+        formulation: str = "primal",
+        *,
+        n_workers: int = 4,
+        aggregation: str | Aggregator = "averaging",
+        network: Link | None = None,
+        pcie: Link | None = None,
+        host_model: HostModel | None = None,
+        paper_scale: PaperScale | None = None,
+        seed: int = 0,
+        partitioner: Callable[[int, int, np.random.Generator], Sequence[np.ndarray]]
+        | None = None,
+        round_fraction: float = 1.0,
+    ) -> None:
+        if formulation not in ("primal", "dual"):
+            raise ValueError(f"unknown formulation {formulation!r}")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if not 0.0 < round_fraction <= 1.0:
+            raise ValueError("round_fraction must be in (0, 1]")
+        self._factory_for: Callable[[int], KernelFactory]
+        if callable(worker_factory) and not hasattr(worker_factory, "bind_primal"):
+            self._factory_for = worker_factory  # type: ignore[assignment]
+        else:
+            fac = worker_factory
+            self._factory_for = lambda rank: fac  # type: ignore[return-value]
+        self.formulation = formulation
+        self.n_workers = int(n_workers)
+        self.aggregator = make_aggregator(aggregation)
+        self.comm = SimCommunicator(self.n_workers, network) if network else (
+            SimCommunicator(self.n_workers)
+        )
+        self.pcie = pcie
+        self.host_model = host_model or (HostModel() if pcie else None)
+        self.paper_scale = paper_scale
+        self.seed = int(seed)
+        self.partitioner = partitioner or random_partition
+        self.round_fraction = float(round_fraction)
+        self._solver_label: str = ""
+
+    @property
+    def name(self) -> str:
+        agg = self.aggregator.name
+        return (
+            f"Distributed[{self._solver_label or 'SCD'} x{self.n_workers}, "
+            f"{agg}, {self.formulation}]"
+        )
+
+    # -- setup -------------------------------------------------------------
+    def _build_workers(self, problem: RidgeProblem) -> list[_WorkerState]:
+        rng = np.random.default_rng(self.seed)
+        if self.formulation == "primal":
+            matrix = problem.dataset.csc
+            n_coords_total = problem.m
+        else:
+            matrix = problem.dataset.csr
+            n_coords_total = problem.n
+        parts = list(self.partitioner(n_coords_total, self.n_workers, rng))
+        total_nnz = matrix.nnz
+        workers: list[_WorkerState] = []
+        for rank, coords in enumerate(parts):
+            local = matrix.take_major(coords)
+            factory = self._factory_for(rank)
+            if self.paper_scale is not None:
+                factory.timing_workload = self.paper_scale.worker_workload(
+                    self.formulation,
+                    coords.shape[0] / n_coords_total,
+                    (local.nnz / total_nnz) if total_nnz else 0.0,
+                )
+            if self.formulation == "primal":
+                bound = factory.bind_primal(local, problem.y, problem.n, problem.lam)
+                y_local = problem.y
+            else:
+                y_local = problem.y[coords]
+                bound = factory.bind_dual(local, y_local, problem.n, problem.lam)
+            if not self._solver_label:
+                self._solver_label = factory.name
+            workers.append(
+                _WorkerState(
+                    coords=coords,
+                    bound=bound,
+                    weights=np.zeros(coords.shape[0], dtype=bound.dtype),
+                    y_local=y_local.astype(bound.dtype, copy=False),
+                    rng=np.random.default_rng(self.seed + 1000 + rank),
+                    epoch_compute_s=bound.epoch_seconds(),
+                )
+            )
+        return workers
+
+    def _shared_len(self, problem: RidgeProblem) -> int:
+        return problem.n if self.formulation == "primal" else problem.m
+
+    def _comm_shared_bytes(self, problem: RidgeProblem) -> int:
+        if self.paper_scale is not None:
+            return 4 * self.paper_scale.shared_len(self.formulation)
+        return 4 * self._shared_len(problem)
+
+    def _paper_shared_len(self, problem: RidgeProblem) -> int:
+        if self.paper_scale is not None:
+            return self.paper_scale.shared_len(self.formulation)
+        return self._shared_len(problem)
+
+    # -- gap evaluation ---------------------------------------------------------
+    def _global_weights(
+        self, workers: list[_WorkerState], problem: RidgeProblem
+    ) -> np.ndarray:
+        n_coords = problem.m if self.formulation == "primal" else problem.n
+        out = np.zeros(n_coords, dtype=np.float64)
+        for wk in workers:
+            out[wk.coords] = wk.weights.astype(np.float64)
+        return out
+
+    def _gap(self, weights: np.ndarray, problem: RidgeProblem) -> tuple[float, float]:
+        if self.formulation == "primal":
+            return problem.primal_gap(weights), problem.primal_objective(weights)
+        return problem.dual_gap(weights), problem.dual_objective(weights)
+
+    # -- training ------------------------------------------------------------------
+    def solve(
+        self,
+        problem: RidgeProblem,
+        n_epochs: int,
+        *,
+        monitor_every: int = 1,
+        target_gap: float | None = None,
+    ) -> DistributedTrainResult:
+        if n_epochs < 0:
+            raise ValueError("n_epochs must be non-negative")
+        if monitor_every < 1:
+            raise ValueError("monitor_every must be >= 1")
+        workers = self._build_workers(problem)
+        shared_len = self._shared_len(problem)
+        shared = np.zeros(shared_len, dtype=np.float64)
+        history = ConvergenceHistory(label=self.name)
+        ledger = TimeLedger()
+        gammas: list[float] = []
+        comm_bytes = self._comm_shared_bytes(problem)
+        paper_shared = self._paper_shared_len(problem)
+        t0 = time.perf_counter()
+
+        weights = self._global_weights(workers, problem)
+        gap, obj = self._gap(weights, problem)
+        history.append(
+            ConvergenceRecord(
+                epoch=0, gap=gap, objective=obj, sim_time=0.0, wall_time=0.0, updates=0
+            )
+        )
+
+        sim_time = 0.0
+        updates = 0
+        for epoch in range(1, n_epochs + 1):
+            dshared_parts: list[np.ndarray] = []
+            pending_dweights: list[np.ndarray] = []
+            model_dot_dmodel = 0.0
+            dmodel_norm_sq = 0.0
+            dmodel_dot_y = 0.0
+            max_compute = 0.0
+            compute_component = "compute_host"
+
+            for wk in workers:
+                local_shared = shared.astype(wk.bound.dtype)
+                weights_work = wk.weights.copy()
+                n_round = max(
+                    1, int(round(self.round_fraction * wk.coords.shape[0]))
+                )
+                perm = wk.next_coords(n_round)
+                wk.bound.run_epoch(weights_work, local_shared, perm, wk.rng)
+                dweights = (weights_work - wk.weights).astype(np.float64)
+                dshared_parts.append(local_shared.astype(np.float64) - shared)
+                pending_dweights.append(dweights)
+                w64 = wk.weights.astype(np.float64)
+                model_dot_dmodel += float(w64 @ dweights)
+                dmodel_norm_sq += float(dweights @ dweights)
+                if self.formulation == "dual":
+                    dmodel_dot_y += float(dweights @ wk.y_local.astype(np.float64))
+                max_compute = max(
+                    max_compute, wk.epoch_compute_s * self.round_fraction
+                )
+                compute_component = wk.bound.timing.component
+                updates += perm.shape[0]
+
+            dshared = self.comm.reduce_sum(dshared_parts)
+            if self.formulation == "primal":
+                resid_dot = float((shared - problem.y.astype(np.float64)) @ dshared)
+            else:
+                resid_dot = float(shared @ dshared)
+            stats = AggregationStats(
+                formulation=self.formulation,
+                n=problem.n,
+                lam=problem.lam,
+                n_workers=self.n_workers,
+                resid_dot_dshared=resid_dot,
+                dshared_norm_sq=float(dshared @ dshared),
+                model_dot_dmodel=model_dot_dmodel,
+                dmodel_norm_sq=dmodel_norm_sq,
+                dmodel_dot_y=dmodel_dot_y,
+            )
+            gamma = self.aggregator.gamma(stats)
+            gammas.append(gamma)
+            shared += gamma * dshared
+            for wk, dw in zip(workers, pending_dweights):
+                wk.weights = (
+                    wk.weights.astype(np.float64) + gamma * dw
+                ).astype(wk.bound.dtype)
+
+            # -- time accounting --------------------------------------------
+            ledger.add(compute_component, max_compute)
+            epoch_time = max_compute
+            if self.pcie is not None:
+                pcie_s = 2.0 * self.pcie.transfer_seconds(4 * paper_shared)
+                host_s = self.host_model.epoch_seconds(paper_shared)
+                ledger.add("comm_pcie", pcie_s)
+                ledger.add("compute_host", host_s)
+                epoch_time += pcie_s + host_s
+            net_s = (
+                self.comm.reduce_seconds(comm_bytes)
+                + self.comm.bcast_seconds(comm_bytes)
+                + self.comm.scalars_seconds(self.aggregator.n_extra_scalars)
+            )
+            ledger.add("comm_network", net_s)
+            epoch_time += net_s
+            sim_time += epoch_time
+
+            if epoch % monitor_every == 0 or epoch == n_epochs:
+                weights = self._global_weights(workers, problem)
+                gap, obj = self._gap(weights, problem)
+                history.append(
+                    ConvergenceRecord(
+                        epoch=epoch,
+                        gap=gap,
+                        objective=obj,
+                        sim_time=sim_time,
+                        wall_time=time.perf_counter() - t0,
+                        updates=updates,
+                        extras={"gamma": gamma},
+                    )
+                )
+                if target_gap is not None and gap <= target_gap:
+                    break
+
+        weights = self._global_weights(workers, problem)
+        return DistributedTrainResult(
+            formulation=self.formulation,
+            weights=weights,
+            shared=shared,
+            history=history,
+            ledger=ledger,
+            partitions=[wk.coords for wk in workers],
+            solver_name=self.name,
+            gammas=gammas,
+        )

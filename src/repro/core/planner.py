@@ -1,0 +1,297 @@
+"""Cluster execution planner: from (dataset, cluster) to a training plan.
+
+The paper's deployment decisions are made by hand: solve the dual and
+partition by example for criteo, pick 4 Titan Xs because 40 GB does not fit
+fewer, communicate over PCIe because the devices share a box.  This module
+automates those decisions with the library's own device/fabric models:
+
+1. **formulation** — primal broadcasts a length-N shared vector, dual a
+   length-M one; compute per epoch (nnz) is identical, so the cheaper
+   aggregation payload wins (ties go to the dual, the paper's large-scale
+   choice);
+2. **worker count** — grown in powers of two until every partition fits its
+   device's memory (the Section V-B gate), or fixed by an explicit device
+   list;
+3. **waves** — staleness-preserving wave sizes per device;
+4. **partitioner** — throughput-proportional when the devices are
+   heterogeneous, uniform random otherwise;
+5. **aggregation** — adaptive (Algorithm 4) whenever K > 1;
+6. **predicted epoch cost** — straight from the same cost models the
+   engine will book, so the plan's estimate matches the run's ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.comm import SimCommunicator
+from ..cluster.partition import proportional_partition
+from ..cpu import XEON_8C, CpuSpec, SequentialCpuTiming
+from ..data import Dataset
+from ..gpu.device import GpuDevice
+from ..gpu.spec import GpuSpec
+from ..gpu.timing import GpuTimingModel
+from ..objectives.ridge import RidgeProblem
+from ..perf.link import ETHERNET_10G, PCIE3_X16_PINNED, Link
+from ..solvers.scd import SequentialKernelFactory
+from .distributed import DistributedSCD
+from .scale import PaperScale
+from .tpa_scd import TpaScdKernelFactory, scaled_wave_size
+
+__all__ = ["ClusterSpec", "ExecutionPlan", "plan_execution"]
+
+#: CSR/CSC bytes per stored nonzero at 32-bit types (index + value)
+_BYTES_PER_NNZ = 8
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """What hardware is available for a training run.
+
+    ``devices`` is either a fixed list of GPUs (one worker each), a single
+    :class:`GpuSpec` that may be replicated up to ``max_workers`` times, or
+    ``None`` for CPU-only workers.
+    """
+
+    devices: list[GpuSpec] | GpuSpec | None = None
+    max_workers: int = 8
+    network: Link = ETHERNET_10G
+    pcie: Link = PCIE3_X16_PINNED
+    cpu: CpuSpec = XEON_8C
+
+    def device_list(self, k: int) -> list[GpuSpec] | None:
+        if self.devices is None:
+            return None
+        if isinstance(self.devices, GpuSpec):
+            return [self.devices] * k
+        return list(self.devices)
+
+
+@dataclass
+class ExecutionPlan:
+    """A fully-resolved training configuration plus its predicted cost."""
+
+    formulation: str
+    n_workers: int
+    aggregation: str
+    devices: list[GpuSpec] | None
+    wave_sizes: list[int] | None
+    partitioner_kind: str
+    predicted_compute_s: float
+    predicted_network_s: float
+    predicted_pcie_s: float
+    per_worker_bytes: int
+    fits: bool
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def predicted_epoch_seconds(self) -> float:
+        return (
+            self.predicted_compute_s
+            + self.predicted_network_s
+            + self.predicted_pcie_s
+        )
+
+    def describe(self) -> str:
+        dev = (
+            "CPU workers"
+            if self.devices is None
+            else ", ".join(d.name for d in self.devices)
+        )
+        return (
+            f"{self.formulation} x{self.n_workers} [{dev}] "
+            f"agg={self.aggregation} part={self.partitioner_kind} "
+            f"epoch~{self.predicted_epoch_seconds:.3g}s "
+            f"(compute {self.predicted_compute_s:.3g}, "
+            f"net {self.predicted_network_s:.3g}, "
+            f"pcie {self.predicted_pcie_s:.3g})"
+        )
+
+    # -- engine construction -------------------------------------------------
+    def build_engine(
+        self,
+        problem: RidgeProblem,
+        *,
+        cluster: ClusterSpec,
+        paper_scale: PaperScale | None = None,
+        seed: int = 0,
+    ) -> DistributedSCD:
+        """Instantiate the distributed engine this plan describes."""
+        if not self.fits:
+            raise ValueError(
+                "plan does not fit device memory; increase max_workers or "
+                "use larger devices"
+            )
+        partitioner = None
+        if self.partitioner_kind == "proportional" and self.devices is not None:
+            speeds = np.array(
+                [d.mem_bandwidth_gbs * d.mem_efficiency for d in self.devices]
+            )
+            partitioner = lambda n, k, rng: proportional_partition(n, speeds, rng)
+
+        if self.devices is None:
+            factory = SequentialKernelFactory(cluster.cpu)
+            worker_factory = factory
+            pcie = None
+        else:
+            devices = self.devices
+            waves = self.wave_sizes or [None] * len(devices)
+
+            def worker_factory(rank: int) -> TpaScdKernelFactory:
+                return TpaScdKernelFactory(
+                    GpuDevice(devices[rank], pcie=cluster.pcie),
+                    wave_size=waves[rank],
+                )
+
+            pcie = cluster.pcie
+        return DistributedSCD(
+            worker_factory,
+            self.formulation,
+            n_workers=self.n_workers,
+            aggregation=self.aggregation,
+            network=cluster.network,
+            pcie=pcie,
+            paper_scale=paper_scale,
+            seed=seed,
+            partitioner=partitioner,
+        )
+
+
+def _dims(dataset: Dataset, paper_scale: PaperScale | None):
+    if paper_scale is not None:
+        return (
+            paper_scale.n_examples,
+            paper_scale.n_features,
+            paper_scale.nnz,
+        )
+    return dataset.n_examples, dataset.n_features, dataset.nnz
+
+
+def plan_execution(
+    dataset: Dataset,
+    *,
+    cluster: ClusterSpec | None = None,
+    paper_scale: PaperScale | None = None,
+) -> ExecutionPlan:
+    """Resolve a training plan for ``dataset`` on ``cluster``.
+
+    When ``paper_scale`` is given the plan is sized and priced for the
+    paper-scale footprint (memory gating, payloads) rather than the
+    in-process arrays.
+    """
+    cluster = cluster or ClusterSpec()
+    n, m, nnz = _dims(dataset, paper_scale)
+    notes: list[str] = []
+
+    # 1) formulation by aggregation payload (compute cost is identical)
+    formulation = "dual" if m <= n else "primal"
+    shared_len = m if formulation == "dual" else n
+    notes.append(
+        f"shared vector: {'M' if formulation == 'dual' else 'N'}="
+        f"{shared_len:,} floats -> {formulation} formulation"
+    )
+
+    total_bytes = nnz * _BYTES_PER_NNZ
+
+    # 2) worker count: fixed list, or grow K until partitions fit
+    fixed = isinstance(cluster.devices, list)
+    if fixed:
+        k_candidates = [len(cluster.devices)]
+    elif cluster.devices is None:
+        k_candidates = [min(cluster.max_workers, 4)]  # CPU: pick a default
+    else:
+        k_candidates = [
+            k for k in (1, 2, 4, 8, 16, 32) if k <= cluster.max_workers
+        ]
+
+    chosen_k = None
+    fits = True
+    if cluster.devices is None:
+        chosen_k = k_candidates[0]
+        per_worker = total_bytes // chosen_k
+    else:
+        per_worker = total_bytes
+        for k in k_candidates:
+            devices = cluster.device_list(k)
+            per_worker = total_bytes // k
+            capacity = min(d.mem_capacity_bytes for d in devices)
+            # leave ~5% headroom for the model/shared vectors — the paper's
+            # 7.3 GB webspam sample must still fit the 8 GB M4000
+            if per_worker <= 0.95 * capacity:
+                chosen_k = k
+                break
+        if chosen_k is None:
+            chosen_k = k_candidates[-1]
+            fits = False
+            notes.append(
+                f"{per_worker / 2**30:.1f} GiB per worker exceeds the "
+                "smallest device even at the maximum worker count"
+            )
+        else:
+            notes.append(
+                f"{total_bytes / 2**30:.2f} GiB total -> "
+                f"{per_worker / 2**30:.2f} GiB/worker fits at K={chosen_k}"
+            )
+
+    devices = cluster.device_list(chosen_k)
+
+    # 3) staleness-preserving waves
+    wave_sizes = None
+    if devices is not None:
+        coords_paper = n if formulation == "dual" else m
+        coords_local = max(1, coords_paper // chosen_k)
+        scaled_coords = (
+            dataset.n_examples if formulation == "dual" else dataset.n_features
+        )
+        scaled_local = max(1, scaled_coords // chosen_k)
+        wave_sizes = [
+            scaled_wave_size(d, scaled_local, coords_local) for d in devices
+        ]
+
+    # 4) partitioner
+    if devices is not None and len(set(d.name for d in devices)) > 1:
+        partitioner_kind = "proportional"
+        notes.append("heterogeneous devices -> throughput-proportional shares")
+    else:
+        partitioner_kind = "random"
+
+    # 5) aggregation
+    aggregation = "adaptive" if chosen_k > 1 else "averaging"
+
+    # 6) predicted epoch cost from the same models the engine books
+    from ..perf.timing import EpochWorkload
+
+    worker_wl = EpochWorkload(
+        n_coords=max(1, (n if formulation == "dual" else m) // chosen_k),
+        nnz=max(1, nnz // chosen_k),
+        shared_len=shared_len,
+    )
+    if devices is None:
+        compute = SequentialCpuTiming(cluster.cpu).epoch_seconds(worker_wl)
+        pcie_s = 0.0
+    else:
+        from .distributed import HostModel
+
+        compute = max(
+            GpuTimingModel(d).epoch_seconds(worker_wl) for d in devices
+        ) + HostModel().epoch_seconds(shared_len)
+        pcie_s = 2.0 * cluster.pcie.transfer_seconds(4 * shared_len)
+    comm = SimCommunicator(chosen_k, cluster.network)
+    network_s = comm.allreduce_seconds(4 * shared_len)
+
+    return ExecutionPlan(
+        formulation=formulation,
+        n_workers=chosen_k,
+        aggregation=aggregation,
+        devices=devices,
+        wave_sizes=wave_sizes,
+        partitioner_kind=partitioner_kind,
+        predicted_compute_s=compute,
+        predicted_network_s=network_s,
+        predicted_pcie_s=pcie_s,
+        per_worker_bytes=int(per_worker),
+        fits=fits,
+        notes=notes,
+    )

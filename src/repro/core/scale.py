@@ -1,0 +1,79 @@
+"""Paper-scale dataset dimensions used to price the reproduced time axes.
+
+The reproduction runs the real algorithms on ~100x scaled-down synthetic
+data, but the *time axes* of the paper's figures depend on the original
+dataset dimensions (nonzeros per epoch, shared-vector bytes per aggregation
+round).  A :class:`PaperScale` carries those original dimensions; the
+experiment drivers hand per-worker slices of it to the device cost models so
+modelled times keep the paper's compute/communication proportions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perf.timing import EpochWorkload
+
+__all__ = ["PaperScale", "WEBSPAM_PAPER", "CRITEO_PAPER"]
+
+
+@dataclass(frozen=True)
+class PaperScale:
+    """Original dimensions of one of the paper's datasets."""
+
+    name: str
+    n_examples: int
+    n_features: int
+    nnz: int
+
+    def n_coords(self, formulation: str) -> int:
+        """Coordinates per epoch: features (primal) or examples (dual)."""
+        if formulation == "primal":
+            return self.n_features
+        if formulation == "dual":
+            return self.n_examples
+        raise ValueError(f"unknown formulation {formulation!r}")
+
+    def shared_len(self, formulation: str) -> int:
+        """Length of the vector aggregated over the network each epoch."""
+        if formulation == "primal":
+            return self.n_examples
+        if formulation == "dual":
+            return self.n_features
+        raise ValueError(f"unknown formulation {formulation!r}")
+
+    def worker_workload(
+        self, formulation: str, coord_fraction: float, nnz_fraction: float
+    ) -> EpochWorkload:
+        """One worker's per-epoch workload at paper scale.
+
+        ``coord_fraction`` / ``nnz_fraction`` are the worker's shares of the
+        scaled dataset's coordinates and nonzeros, carried over to the
+        original dimensions.
+        """
+        if not 0.0 < coord_fraction <= 1.0 or not 0.0 <= nnz_fraction <= 1.0:
+            raise ValueError("fractions must lie in (0, 1]")
+        return EpochWorkload(
+            n_coords=max(1, round(self.n_coords(formulation) * coord_fraction)),
+            nnz=max(1, round(self.nnz * nnz_fraction)),
+            shared_len=self.shared_len(formulation),
+        )
+
+
+#: the paper's webspam training sample: 262,938 examples, 680,715 distinct
+#: features, ~3,700 nonzeros/example (7.3 GB in 32-bit CSC/CSR).
+WEBSPAM_PAPER = PaperScale(
+    name="webspam",
+    n_examples=262_938,
+    n_features=680_715,
+    nnz=980_000_000,
+)
+
+#: the paper's criteo 1-day sample: 200 M examples x 75 M features, 26 one-hot
+#: categorical features per example (values all 1), ~40 GB in CSR.
+CRITEO_PAPER = PaperScale(
+    name="criteo-1day",
+    n_examples=200_000_000,
+    n_features=75_000_000,
+    nnz=5_200_000_000,
+)

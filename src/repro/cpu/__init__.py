@@ -1,0 +1,5 @@
+"""CPU device models: Xeon spec and thread-scaling cost models."""
+
+from .spec import XEON_8C, CpuSpec, SequentialCpuTiming, ThreadedCpuTiming
+
+__all__ = ["CpuSpec", "XEON_8C", "SequentialCpuTiming", "ThreadedCpuTiming"]

@@ -1,0 +1,138 @@
+"""CPU device model standing in for the paper's Xeon test machines.
+
+The paper's CPU baselines ran on 8-core Intel Xeon E5 machines at 2.40 GHz
+with 2-way SMT (16 threads).  We model the three observations it reports:
+
+* sequential SCD processes the data at a fixed nonzeros/second rate;
+* A-SCD (atomic float adds) achieves only ~2x with 16 threads because the
+  CPU lacks hardware float atomic-add ("we attribute [the modest speed-up]
+  to the lack of hardware support for floating point atomic addition");
+* PASSCoDe-Wild achieves ~4x because it skips the atomicity.
+
+The scaling exponents below are calibrated so 16 threads land on those
+factors while remaining monotone and sub-linear for other thread counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..perf.timing import EpochWorkload
+
+__all__ = ["CpuSpec", "XEON_8C", "SequentialCpuTiming", "ThreadedCpuTiming"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Calibrated CPU throughput model.
+
+    ``seq_nnz_per_sec`` is the sustained rate at which the optimized
+    single-thread C++ implementation streams stored nonzeros (inner product
+    read + shared-vector write per nonzero); ``coord_overhead_s`` prices the
+    per-coordinate bookkeeping (permutation lookup, scalar update).
+    ``atomic_scaling`` / ``wild_scaling`` are the exponents ``p`` of the
+    thread-scaling law ``speedup(T) = T^p``.
+    """
+
+    name: str
+    n_cores: int
+    threads_per_core: int
+    clock_ghz: float
+    seq_nnz_per_sec: float
+    coord_overhead_s: float
+    atomic_scaling: float
+    wild_scaling: float
+    #: last-level cache size; coordinate updates scatter into the shared
+    #: vector, and once it no longer fits in LLC every update is a DRAM
+    #: round-trip
+    llc_bytes: int = 20 * 2**20
+    #: fraction of the streaming rate sustained when the shared vector
+    #: exceeds the LLC (random DRAM scatter).  webspam's shared vectors are
+    #: cache-resident (1-2.7 MB); criteo's 300 MB dual shared vector is not —
+    #: a large part of why the paper's GPU advantage grows to 20-40x there.
+    dram_scatter_penalty: float = 0.35
+
+    @property
+    def max_threads(self) -> int:
+        return self.n_cores * self.threads_per_core
+
+    def thread_speedup(self, n_threads: int, mode: str) -> float:
+        """Multiplicative speedup over one thread for the given write mode."""
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if n_threads > self.max_threads:
+            raise ValueError(
+                f"{self.name} supports at most {self.max_threads} threads"
+            )
+        if mode == "atomic":
+            p = self.atomic_scaling
+        elif mode == "wild":
+            p = self.wild_scaling
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        return n_threads**p
+
+
+#: calibration: 16**0.25 = 2.0 (A-SCD's observed 2x) and 16**0.5 = 4.0
+#: (PASSCoDe-Wild's observed 4x).  The sequential rate of 2e8 nnz/s matches
+#: the paper's ~5 s/epoch on webspam's ~1e9 nonzeros.
+XEON_8C = CpuSpec(
+    name="xeon-8c-2.4GHz",
+    n_cores=8,
+    threads_per_core=2,
+    clock_ghz=2.4,
+    seq_nnz_per_sec=2.0e8,
+    coord_overhead_s=2.0e-8,
+    atomic_scaling=0.25,
+    wild_scaling=0.50,
+)
+
+
+def _base_epoch_seconds(spec: CpuSpec, workload: EpochWorkload) -> float:
+    """Single-thread epoch time, with the LLC-residency penalty applied."""
+    rate = spec.seq_nnz_per_sec
+    if workload.shared_len * 4 > spec.llc_bytes:
+        rate *= spec.dram_scatter_penalty
+    return workload.nnz / rate + workload.n_coords * spec.coord_overhead_s
+
+
+class SequentialCpuTiming:
+    """Cost model for single-threaded Algorithm 1."""
+
+    component = "compute_host"
+
+    def __init__(self, spec: CpuSpec = XEON_8C) -> None:
+        self.spec = spec
+
+    def epoch_seconds(self, workload: EpochWorkload) -> float:
+        return _base_epoch_seconds(self.spec, workload)
+
+
+class ThreadedCpuTiming:
+    """Cost model for the asynchronous multi-threaded CPU solvers."""
+
+    component = "compute_host"
+
+    def __init__(
+        self, spec: CpuSpec = XEON_8C, *, n_threads: int = 16, mode: str = "atomic"
+    ) -> None:
+        self.spec = spec
+        self.n_threads = int(n_threads)
+        self.mode = mode
+        self._speedup = spec.thread_speedup(self.n_threads, mode)
+
+    @property
+    def speedup(self) -> float:
+        return self._speedup
+
+    def epoch_seconds(self, workload: EpochWorkload) -> float:
+        return _base_epoch_seconds(self.spec, workload) / self._speedup
+
+
+def _check_calibration() -> None:  # pragma: no cover - module self-check
+    assert math.isclose(XEON_8C.thread_speedup(16, "atomic"), 2.0)
+    assert math.isclose(XEON_8C.thread_speedup(16, "wild"), 4.0)
+
+
+_check_calibration()

@@ -1,0 +1,45 @@
+"""Datasets: container, synthetic generators, LibSVM I/O, splitting."""
+
+from .dataset import Dataset, train_test_split
+from .io import load_libsvm, save_libsvm
+from .preprocess import (
+    binarize_labels,
+    clip_values,
+    normalize_rows,
+    scale_columns,
+)
+from .store import (
+    load_dataset_npz,
+    load_history_json,
+    save_dataset_npz,
+    save_history_json,
+)
+from .synthetic import (
+    make_block_correlated,
+    make_criteo_like,
+    make_dense_gaussian,
+    make_sparse_regression,
+    make_webspam_like,
+    powerlaw_indices,
+)
+
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "load_libsvm",
+    "save_libsvm",
+    "normalize_rows",
+    "scale_columns",
+    "clip_values",
+    "binarize_labels",
+    "save_dataset_npz",
+    "load_dataset_npz",
+    "save_history_json",
+    "load_history_json",
+    "make_block_correlated",
+    "make_criteo_like",
+    "make_dense_gaussian",
+    "make_sparse_regression",
+    "make_webspam_like",
+    "powerlaw_indices",
+]

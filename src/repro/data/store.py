@@ -1,0 +1,102 @@
+"""Binary persistence for datasets and convergence histories.
+
+Synthetic datasets are cheap to regenerate, but reproducible experiment
+pipelines want to snapshot exactly what was trained on; ``.npz`` keeps the
+compressed arrays intact (unlike the LibSVM text round-trip, which is
+lossy at the 1e-10 level from decimal formatting).  Histories serialize to
+JSON for the same reason: EXPERIMENTS.md regeneration and notebook
+post-processing without re-running solvers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..metrics import ConvergenceHistory, ConvergenceRecord
+from ..sparse import CsrMatrix
+from .dataset import Dataset
+
+__all__ = [
+    "save_dataset_npz",
+    "load_dataset_npz",
+    "save_history_json",
+    "load_history_json",
+]
+
+
+def save_dataset_npz(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset (CSR canonical form + labels + metadata) to .npz."""
+    csr = dataset.csr
+    np.savez_compressed(
+        path,
+        indptr=csr.indptr,
+        indices=csr.indices,
+        data=csr.data,
+        y=dataset.y,
+        shape=np.asarray(csr.shape, dtype=np.int64),
+        name=np.asarray(dataset.name),
+        meta=np.asarray(json.dumps(dataset.meta, default=str)),
+    )
+
+
+def load_dataset_npz(path: str | Path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset_npz`."""
+    with np.load(path, allow_pickle=False) as archive:
+        required = {"indptr", "indices", "data", "y", "shape", "name", "meta"}
+        missing = required - set(archive.files)
+        if missing:
+            raise ValueError(f"{path}: not a repro dataset archive (missing {missing})")
+        shape = tuple(int(v) for v in archive["shape"])
+        matrix = CsrMatrix(
+            shape, archive["indptr"], archive["indices"], archive["data"]
+        )
+        return Dataset(
+            matrix=matrix,
+            y=archive["y"],
+            name=str(archive["name"]),
+            meta=json.loads(str(archive["meta"])),
+        )
+
+
+def save_history_json(history: ConvergenceHistory, path: str | Path) -> None:
+    """Write a convergence history (label + all records) to JSON."""
+    payload = {
+        "label": history.label,
+        "records": [
+            {
+                "epoch": r.epoch,
+                "gap": r.gap,
+                "objective": r.objective,
+                "sim_time": r.sim_time,
+                "wall_time": r.wall_time,
+                "updates": r.updates,
+                "extras": r.extras,
+            }
+            for r in history
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1, default=float), "utf-8")
+
+
+def load_history_json(path: str | Path) -> ConvergenceHistory:
+    """Load a history previously written by :func:`save_history_json`."""
+    payload = json.loads(Path(path).read_text("utf-8"))
+    if "records" not in payload:
+        raise ValueError(f"{path}: not a repro history file")
+    history = ConvergenceHistory(label=payload.get("label", ""))
+    for r in payload["records"]:
+        history.append(
+            ConvergenceRecord(
+                epoch=int(r["epoch"]),
+                gap=float(r["gap"]),
+                objective=float(r["objective"]),
+                sim_time=float(r["sim_time"]),
+                wall_time=float(r["wall_time"]),
+                updates=int(r["updates"]),
+                extras=r.get("extras", {}),
+            )
+        )
+    return history

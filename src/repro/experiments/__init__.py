@@ -1,0 +1,116 @@
+"""Experiment drivers: one runner per figure/table of the paper."""
+
+from .ablations import (
+    run_aggregation_ablation,
+    run_all_ablations,
+    run_gpu_write_ablation,
+    run_pcie_ablation,
+    run_precision_ablation,
+    run_wave_ablation,
+)
+from .config import (
+    LAMBDA,
+    SCALES,
+    ScaleConfig,
+    active_scale,
+    criteo_problem,
+    webspam_problem,
+)
+from .convergence import SOLVER_LABELS, run_convergence, run_fig1, run_fig2
+from .extensions import (
+    run_async_vs_sync,
+    run_batch_vs_stochastic,
+    run_comm_tradeoff,
+    run_glm_gpu,
+    run_heterogeneous_cluster,
+    run_sigma_sweep,
+    run_smart_partition,
+    run_weak_scaling,
+)
+from .distributed_figs import (
+    EPS_TARGETS,
+    WORKER_COUNTS,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+)
+from .gpu_cluster import run_fig8, run_fig9
+from .headline import PAPER_SPEEDUPS, run_headline
+from .large_scale import run_fig10
+from .ascii_plot import ascii_plot
+from .results import CurveSeries, FigureResult
+
+#: registry used by the EXPERIMENTS.md generator and the bench harness
+ALL_EXPERIMENTS = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3-primal": lambda scale=None: run_fig3("primal", scale),
+    "fig3-dual": lambda scale=None: run_fig3("dual", scale),
+    "fig4-primal": lambda scale=None: run_fig4("primal", scale),
+    "fig4-dual": lambda scale=None: run_fig4("dual", scale),
+    "fig5-primal": lambda scale=None: run_fig5("primal", scale),
+    "fig5-dual": lambda scale=None: run_fig5("dual", scale),
+    "fig6-primal": lambda scale=None: run_fig6("primal", scale),
+    "fig6-dual": lambda scale=None: run_fig6("dual", scale),
+    "fig8-m4000": lambda scale=None: run_fig8("m4000", scale),
+    "fig8-titanx": lambda scale=None: run_fig8("titanx", scale),
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "headline": run_headline,
+    "ablation-wave": run_wave_ablation,
+    "ablation-gpu-write": run_gpu_write_ablation,
+    "ablation-aggregation": run_aggregation_ablation,
+    "ablation-precision": run_precision_ablation,
+    "ablation-pcie": run_pcie_ablation,
+    "ext-smart-partition": run_smart_partition,
+    "ext-comm-tradeoff": run_comm_tradeoff,
+    "ext-sigma-sweep": run_sigma_sweep,
+    "ext-async-vs-sync": run_async_vs_sync,
+    "ext-heterogeneous": run_heterogeneous_cluster,
+    "ext-glm-gpu": run_glm_gpu,
+    "ext-batch-vs-stochastic": run_batch_vs_stochastic,
+    "ext-weak-scaling": run_weak_scaling,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "CurveSeries",
+    "FigureResult",
+    "ascii_plot",
+    "LAMBDA",
+    "SCALES",
+    "ScaleConfig",
+    "active_scale",
+    "criteo_problem",
+    "webspam_problem",
+    "SOLVER_LABELS",
+    "EPS_TARGETS",
+    "WORKER_COUNTS",
+    "PAPER_SPEEDUPS",
+    "run_convergence",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_headline",
+    "run_all_ablations",
+    "run_wave_ablation",
+    "run_gpu_write_ablation",
+    "run_aggregation_ablation",
+    "run_precision_ablation",
+    "run_pcie_ablation",
+    "run_smart_partition",
+    "run_comm_tradeoff",
+    "run_sigma_sweep",
+    "run_async_vs_sync",
+    "run_heterogeneous_cluster",
+    "run_glm_gpu",
+    "run_batch_vs_stochastic",
+    "run_weak_scaling",
+]

@@ -1,0 +1,104 @@
+"""Terminal rendering of figure series as ASCII log-plots.
+
+`python -m repro run fig2 --plot` draws the duality-gap curves the paper
+plots, without any plotting dependency: y on a log10 grid, one glyph per
+series, shared axes across the figure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .results import FigureResult
+
+__all__ = ["ascii_plot"]
+
+_GLYPHS = "*o+x#@%&^~"
+
+
+def _log_safe(values: np.ndarray, floor: float) -> np.ndarray:
+    return np.log10(np.maximum(values, floor))
+
+
+def ascii_plot(
+    fig: FigureResult,
+    *,
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    label_filter: str | None = None,
+) -> str:
+    """Render a figure's series into an ASCII chart string.
+
+    ``label_filter`` keeps only series whose label contains the substring
+    (e.g. ``"| time"`` for the time panels of Figs. 1-2).  The y axis is
+    always log10 (every reproduced figure is a log-gap plot); x is linear
+    unless ``logx``.
+    """
+    series = [
+        s
+        for s in fig.series
+        if (label_filter is None or label_filter in s.label) and s.x.size
+    ]
+    if not series:
+        return f"(no series to plot for {fig.figure_id})"
+
+    finite_y = np.concatenate(
+        [s.y[np.isfinite(s.y) & (s.y > 0)] for s in series]
+    )
+    if finite_y.size == 0:
+        return f"(no positive finite values to plot for {fig.figure_id})"
+    y_floor = float(finite_y.min()) * 0.5
+    y_lo = math.log10(y_floor)
+    y_hi = math.log10(float(finite_y.max()) * 2.0)
+
+    xs = np.concatenate([s.x for s in series])
+    xs = xs[np.isfinite(xs)]
+    if logx:
+        xs = xs[xs > 0]
+        if xs.size == 0:
+            return f"(no positive x values for log x-axis in {fig.figure_id})"
+        x_lo, x_hi = math.log10(xs.min()), math.log10(max(xs.max(), xs.min() * 10))
+    else:
+        x_lo, x_hi = float(xs.min()), float(xs.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        for xv, yv in zip(s.x, s.y):
+            if not (np.isfinite(xv) and np.isfinite(yv)) or yv <= 0:
+                continue
+            xpos = math.log10(xv) if logx else xv
+            if logx and xv <= 0:
+                continue
+            col = int((xpos - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int(
+                (math.log10(max(yv, y_floor)) - y_lo) / (y_hi - y_lo) * (height - 1)
+            )
+            row = height - 1 - min(max(row, 0), height - 1)
+            col = min(max(col, 0), width - 1)
+            grid[row][col] = glyph
+
+    lines = [f"{fig.figure_id}: {fig.title}"]
+    for r, row in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        y_val = 10 ** (y_lo + frac * (y_hi - y_lo))
+        axis = f"{y_val:8.1e} |" if r % 4 == 0 else "         |"
+        lines.append(axis + "".join(row))
+    x_left = f"{10**x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    x_right = f"{10**x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    x_name = series[0].x_name
+    pad = max(0, width - len(x_left) - len(x_right) - len(x_name) - 2)
+    lines.append(
+        "         +" + "-" * width
+    )
+    lines.append(
+        f"          {x_left} {x_name}{' ' * pad}{x_right}"
+    )
+    for si, s in enumerate(series):
+        lines.append(f"   {_GLYPHS[si % len(_GLYPHS)]} {s.label}")
+    return "\n".join(lines)

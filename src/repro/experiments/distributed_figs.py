@@ -1,0 +1,217 @@
+"""Figs. 3-6 — distributed SCD on the CPU cluster (webspam-like data).
+
+* Fig. 3 — duality gap vs epochs for K = 1, 2, 4, 8 workers (averaging
+  aggregation): the per-epoch convergence slows roughly linearly in K.
+* Fig. 4 — averaging vs adaptive aggregation at K = 8.
+* Fig. 5 — the evolution of the optimal aggregation parameter gamma_t; it
+  climbs and settles well above the averaging value 1/K.
+* Fig. 6 — time to reach duality-gap targets vs K, averaging vs adaptive:
+  scale-out keeps training time roughly constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.distributed import DistributedSCD
+from ..objectives.ridge import RidgeProblem
+from .config import (
+    ScaleConfig,
+    active_scale,
+    epochs,
+    sequential_factory,
+    webspam_problem,
+)
+from .results import CurveSeries, FigureResult
+
+__all__ = [
+    "WORKER_COUNTS",
+    "EPS_TARGETS",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "distributed_epoch_budget",
+]
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+#: duality-gap targets for the time-to-epsilon figures (paper values)
+EPS_TARGETS = (3e-3, 3e-4, 3e-5)
+
+
+def distributed_epoch_budget(formulation: str, scale: ScaleConfig) -> int:
+    """Epoch budgets mirroring the paper's axes (primal needs more)."""
+    return epochs(120 if formulation == "primal" else 40, scale)
+
+
+def _engine(
+    formulation: str,
+    n_workers: int,
+    aggregation: str,
+    paper,
+    *,
+    seed: int = 3,
+) -> DistributedSCD:
+    return DistributedSCD(
+        sequential_factory(paper, formulation),
+        formulation,
+        n_workers=n_workers,
+        aggregation=aggregation,
+        paper_scale=paper,
+        seed=seed,
+    )
+
+
+def run_fig3(
+    formulation: str = "primal", scale: ScaleConfig | None = None
+) -> FigureResult:
+    """Fig. 3: distributed convergence vs epochs for growing K."""
+    scale = scale or active_scale()
+    problem, paper = webspam_problem(scale)
+    n_epochs = distributed_epoch_budget(formulation, scale)
+    monitor = max(1, n_epochs // 20)
+    fig = FigureResult(
+        figure_id=f"fig3-{formulation}",
+        title=f"Distributed SCD convergence ({formulation}, averaging)",
+        meta={"formulation": formulation, "n_epochs": n_epochs, "scale": scale.name},
+    )
+    for k in WORKER_COUNTS:
+        res = _engine(formulation, k, "averaging", paper).solve(
+            problem, n_epochs, monitor_every=monitor
+        )
+        fig.add(
+            CurveSeries(
+                label=f"{k} Worker{'s' if k > 1 else ''}",
+                x=res.history.epochs,
+                y=res.history.gaps,
+                x_name="epochs",
+                y_name="gap",
+                meta={"n_workers": k},
+            )
+        )
+    fig.notes.append("expected: approximately linear slow-down in epochs with K")
+    return fig
+
+
+def run_fig4(
+    formulation: str = "primal", scale: ScaleConfig | None = None
+) -> FigureResult:
+    """Fig. 4: averaging vs adaptive aggregation at K = 8."""
+    scale = scale or active_scale()
+    problem, paper = webspam_problem(scale)
+    n_epochs = distributed_epoch_budget(formulation, scale)
+    monitor = max(1, n_epochs // 20)
+    fig = FigureResult(
+        figure_id=f"fig4-{formulation}",
+        title=f"Adaptive vs averaging aggregation, K=8 ({formulation})",
+        meta={"formulation": formulation, "n_epochs": n_epochs, "scale": scale.name},
+    )
+    for agg, label in (
+        ("averaging", "Averaging Aggregation"),
+        ("adaptive", "Adaptive Aggregation"),
+    ):
+        res = _engine(formulation, 8, agg, paper).solve(
+            problem, n_epochs, monitor_every=monitor
+        )
+        fig.add(
+            CurveSeries(
+                label=label,
+                x=res.history.epochs,
+                y=res.history.gaps,
+                x_name="epochs",
+                y_name="gap",
+                meta={"aggregation": agg},
+            )
+        )
+    fig.notes.append(
+        "expected: adaptive reaches small gaps in fewer epochs (primal ~2x)"
+    )
+    return fig
+
+
+def run_fig5(
+    formulation: str = "primal", scale: ScaleConfig | None = None
+) -> FigureResult:
+    """Fig. 5: evolution of the optimal aggregation parameter gamma_t."""
+    scale = scale or active_scale()
+    problem, paper = webspam_problem(scale)
+    n_epochs = epochs(80 if formulation == "primal" else 25, scale)
+    fig = FigureResult(
+        figure_id=f"fig5-{formulation}",
+        title=f"Optimal aggregation parameter evolution ({formulation})",
+        meta={"formulation": formulation, "n_epochs": n_epochs, "scale": scale.name},
+    )
+    for k in WORKER_COUNTS:
+        res = _engine(formulation, k, "adaptive", paper).solve(
+            problem, n_epochs, monitor_every=1
+        )
+        gammas = np.asarray(res.gammas)
+        # once the run is fully converged the updates vanish and gamma* is a
+        # 0/0 ratio; report the gamma where the run is still meaningfully
+        # optimizing (first epoch below a small-but-not-converged gap) as the
+        # "settled" value the paper's Fig. 5 plateaus at
+        settle_epoch = res.history.epochs_to_gap(1e-6)
+        if not np.isfinite(settle_epoch):
+            settle_epoch = gammas.shape[0]
+        settled = float(gammas[min(int(settle_epoch), gammas.shape[0]) - 1])
+        fig.add(
+            CurveSeries(
+                label=f"{k} Worker{'s' if k > 1 else ''}",
+                x=np.arange(1, gammas.shape[0] + 1),
+                y=gammas,
+                x_name="epochs",
+                y_name="gamma",
+                meta={
+                    "n_workers": k,
+                    "averaging_value": 1.0 / k,
+                    "settled_gamma": settled,
+                },
+            )
+        )
+    fig.notes.append(
+        "expected: gamma starts low, rises, and settles well above 1/K"
+    )
+    return fig
+
+
+def run_fig6(
+    formulation: str = "primal", scale: ScaleConfig | None = None
+) -> FigureResult:
+    """Fig. 6: time to reach gap targets vs number of workers."""
+    scale = scale or active_scale()
+    problem, paper = webspam_problem(scale)
+    base_epochs = distributed_epoch_budget(formulation, scale)
+    fig = FigureResult(
+        figure_id=f"fig6-{formulation}",
+        title=f"Time to reach duality gap vs workers ({formulation})",
+        meta={"formulation": formulation, "base_epochs": base_epochs, "scale": scale.name},
+    )
+    eps_min = min(EPS_TARGETS)
+    for agg, label in (("averaging", "Averaging"), ("adaptive", "Adaptive")):
+        histories = {}
+        for k in WORKER_COUNTS:
+            # convergence in epochs slows ~linearly in K (Fig. 3), so the
+            # epoch cap scales with K to let every run reach the targets
+            res = _engine(formulation, k, agg, paper).solve(
+                problem, base_epochs * k, monitor_every=2, target_gap=eps_min
+            )
+            histories[k] = res.history
+        for eps in EPS_TARGETS:
+            fig.add(
+                CurveSeries(
+                    label=f"{label} eps={eps:g}",
+                    x=np.asarray(WORKER_COUNTS, dtype=float),
+                    y=np.asarray(
+                        [histories[k].time_to_gap(eps) for k in WORKER_COUNTS]
+                    ),
+                    x_name="workers",
+                    y_name="time(s)",
+                    meta={"aggregation": agg, "eps": eps},
+                )
+            )
+    fig.notes.append(
+        "expected: roughly flat time with K (adaptive); compute speedup "
+        "cancels the convergence slow-down"
+    )
+    return fig

@@ -1,0 +1,71 @@
+"""A simulated GPU device: spec + memory + PCIe link.
+
+Composes the static :class:`~repro.gpu.spec.GpuSpec`, the capacity-checked
+:class:`~repro.gpu.memory.DeviceMemory`, and a host<->device PCIe
+:class:`~repro.perf.link.Link`.  Training data is uploaded once at the start
+of a run ("the dataset ... is transferred into the GPU memory once at the
+beginning of operation and does not move"), while the shared vector crosses
+PCIe twice per epoch in the distributed setting.
+"""
+
+from __future__ import annotations
+
+from ..data import Dataset
+from ..perf.link import PCIE3_X16_PINNED, Link
+from .memory import DeviceMemory
+from .spec import GpuSpec
+
+__all__ = ["GpuDevice"]
+
+
+class GpuDevice:
+    """One simulated GPU attached to a host over PCIe.
+
+    Parameters
+    ----------
+    spec:
+        The device model (M4000, Titan X, ...).
+    pcie:
+        Host link; defaults to pinned-memory PCIe 3.0 x16, the configuration
+        the paper uses for maximum transfer throughput.
+    """
+
+    def __init__(self, spec: GpuSpec, *, pcie: Link = PCIE3_X16_PINNED) -> None:
+        self.spec = spec
+        self.pcie = pcie
+        self.memory = DeviceMemory(spec.mem_capacity_bytes)
+
+    # -- data movement ------------------------------------------------------
+    def upload_dataset(
+        self, dataset: Dataset, *, simulated_nbytes: int | None = None
+    ) -> float:
+        """Allocate and transfer the training partition; returns seconds.
+
+        ``simulated_nbytes`` lets large-scale experiments account for the
+        *paper-scale* footprint of the partition (e.g. 10 GB of a 40 GB
+        criteo sample per worker) while the in-process arrays remain laptop
+        sized.  Raises :class:`GpuOutOfMemoryError` when the partition does
+        not fit — the gate that forces the scale-out in Section V-B.
+        """
+        nbytes = dataset.nbytes if simulated_nbytes is None else int(simulated_nbytes)
+        self.memory.alloc(f"dataset:{dataset.name}", nbytes)
+        return self.pcie.transfer_seconds(nbytes)
+
+    def alloc_vector(self, name: str, n_elements: int, itemsize: int = 4) -> None:
+        """Reserve device memory for a model/shared vector."""
+        self.memory.alloc(name, n_elements * itemsize)
+
+    def vector_transfer_seconds(self, n_elements: int, itemsize: int = 4) -> float:
+        """PCIe time to move one vector on or off the device."""
+        return self.pcie.transfer_seconds(n_elements * itemsize)
+
+    def reset(self) -> None:
+        """Release all allocations (new training run)."""
+        self.memory = DeviceMemory(self.spec.mem_capacity_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GpuDevice({self.spec.name}, "
+            f"{self.memory.used_bytes / 2**30:.2f}/"
+            f"{self.spec.mem_capacity_gb:.0f} GiB used)"
+        )

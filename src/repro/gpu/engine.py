@@ -1,0 +1,170 @@
+"""Functional emulation of the TPA-SCD GPU kernel (Algorithm 2).
+
+This module reproduces, at the numerical level, what one epoch of TPA-SCD
+does on real hardware:
+
+* **Level-1 parallelism** — each coordinate is one thread block; the block
+  scheduler keeps ``spec.resident_blocks`` blocks concurrently resident on
+  the SMs.  We execute the epoch in *waves* of that size: all blocks in a
+  wave read the shared vector as it stood when the wave was scheduled
+  (this is the asynchronous-staleness window), then their atomic updates
+  are all applied.  A wave size of 1 degenerates to sequential SCD, which
+  the property tests exploit.
+* **Level-2 parallelism** — inside a block, ``n_threads`` threads compute a
+  strided partial inner product in float32 and combine the partials with a
+  shared-memory *tree reduction*, exactly as the pseudo-code: lane ``u``
+  accumulates elements ``u, u + n_threads, ...`` in order, then
+  ``cache[u] += cache[u + v]`` for ``v = n_threads/2, n_threads/4, ..., 1``.
+  We reproduce that arithmetic (order and precision) rather than calling a
+  fused dot product, so the float32 rounding behaviour of the simulated
+  kernel matches the real one's character.
+* **Atomic write-back** — every shared-vector contribution is applied
+  (float32 atomic adds never lose updates); ``np.add.at`` provides the
+  unbuffered element-wise accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..solvers.kernels import gather_chunk
+from .profiler import KernelProfile
+
+__all__ = ["block_tree_dots", "TpaScdEngine"]
+
+
+def block_tree_dots(
+    flat_vals: np.ndarray,
+    flat_gathered: np.ndarray,
+    seg_ptr: np.ndarray,
+    n_threads: int,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Per-coordinate inner products using the thread-block arithmetic.
+
+    ``flat_vals`` and ``flat_gathered`` are the per-nonzero factor pairs for
+    all coordinates of one wave, concatenated; ``seg_ptr`` delimits the
+    coordinates.  Lane assignment and reduction order replicate Algorithm 2.
+    """
+    n_coords = seg_ptr.shape[0] - 1
+    if n_coords == 0:
+        return np.zeros(0, dtype=dtype)
+    prods = (flat_vals * flat_gathered).astype(dtype, copy=False)
+    lengths = np.diff(seg_ptr)
+    seg_ids = np.repeat(np.arange(n_coords), lengths)
+    pos_in_seg = np.arange(prods.shape[0]) - np.repeat(seg_ptr[:-1], lengths)
+    lanes = pos_in_seg % n_threads
+
+    # per-(block, lane) strided accumulation, in flat (i.e. stride) order —
+    # the same order a CUDA thread walks i = u, u + n_threads, ...
+    cache = np.zeros((n_coords, n_threads), dtype=dtype)
+    np.add.at(cache, (seg_ids, lanes), prods)
+
+    # shared-memory tree reduction: cache[u] += cache[u + v]
+    v = n_threads // 2
+    while v:
+        cache[:, :v] += cache[:, v : 2 * v]
+        v //= 2
+    return cache[:, 0].copy()
+
+
+class TpaScdEngine:
+    """One bound TPA-SCD kernel: data arrays + wave execution.
+
+    Parameters
+    ----------
+    indptr, indices, data:
+        The coordinate-major compressed arrays (CSC columns for primal,
+        CSR rows for dual), with ``data`` already cast to ``dtype``.
+    wave_size:
+        Number of concurrently resident thread blocks (staleness window).
+    n_threads:
+        Threads per block used for the strided partials / tree reduction.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        *,
+        wave_size: int,
+        n_threads: int,
+        dtype=np.float32,
+        profiler: KernelProfile | None = None,
+    ) -> None:
+        if wave_size < 1:
+            raise ValueError("wave_size must be >= 1")
+        if n_threads < 1 or (n_threads & (n_threads - 1)) != 0:
+            raise ValueError("n_threads must be a positive power of two")
+        self.indptr = indptr
+        self.indices = indices
+        self.dtype = np.dtype(dtype)
+        self.data = data.astype(self.dtype, copy=False)
+        self.wave_size = int(wave_size)
+        self.n_threads = int(n_threads)
+        self.profiler = profiler
+
+    def run_primal_epoch(
+        self,
+        y: np.ndarray,
+        inv_denom: np.ndarray,
+        nlam: float,
+        beta: np.ndarray,
+        w: np.ndarray,
+        perm: np.ndarray,
+    ) -> int:
+        """One primal epoch: blocks compute ``<y - w, a_m>`` then update.
+
+        Returns 0 (atomic writes never lose updates), matching the
+        :class:`~repro.solvers.base.BoundKernel` contract.
+        """
+        dt = self.dtype
+        for start in range(0, perm.shape[0], self.wave_size):
+            coords = perm[start : start + self.wave_size]
+            flat_idx, flat_val, seg_ptr = gather_chunk(
+                self.indptr, self.indices, self.data, coords
+            )
+            if self.profiler is not None:
+                self.profiler.record_wave(flat_idx, seg_ptr, self.n_threads)
+            residual = (y[flat_idx] - w[flat_idx]).astype(dt, copy=False)
+            dots = block_tree_dots(
+                flat_val, residual, seg_ptr, self.n_threads, dtype=dt
+            )
+            deltas = ((dots - nlam * beta[coords]) * inv_denom[coords]).astype(dt)
+            beta[coords] += deltas
+            contrib = flat_val * np.repeat(deltas, np.diff(seg_ptr))
+            np.add.at(w, flat_idx, contrib)
+        return 0
+
+    def run_dual_epoch(
+        self,
+        y_local: np.ndarray,
+        inv_denom: np.ndarray,
+        lam: float,
+        nlam: float,
+        alpha: np.ndarray,
+        wbar: np.ndarray,
+        perm: np.ndarray,
+    ) -> int:
+        """One dual epoch: blocks compute ``<wbar, a_n>`` then update."""
+        dt = self.dtype
+        for start in range(0, perm.shape[0], self.wave_size):
+            coords = perm[start : start + self.wave_size]
+            flat_idx, flat_val, seg_ptr = gather_chunk(
+                self.indptr, self.indices, self.data, coords
+            )
+            if self.profiler is not None:
+                self.profiler.record_wave(flat_idx, seg_ptr, self.n_threads)
+            gathered = wbar[flat_idx].astype(dt, copy=False)
+            dots = block_tree_dots(
+                flat_val, gathered, seg_ptr, self.n_threads, dtype=dt
+            )
+            deltas = (
+                (lam * y_local[coords] - dots - nlam * alpha[coords])
+                * inv_denom[coords]
+            ).astype(dt)
+            alpha[coords] += deltas
+            contrib = flat_val * np.repeat(deltas, np.diff(seg_ptr))
+            np.add.at(wbar, flat_idx, contrib)
+        return 0

@@ -1,0 +1,63 @@
+"""Device memory accounting for the simulated GPUs.
+
+Capacity is the binding constraint that motivates the paper's Section IV:
+"Modern GPUs have a memory capacity of up to 16GB thus severely limiting the
+size of the datasets on which we are able to learn."  The allocator tracks
+named buffers against the device capacity and raises
+:class:`GpuOutOfMemoryError` on exhaustion, so the large-scale experiment can
+demonstrate that the 40 GB criteo sample genuinely does not fit on one
+device while a quarter of it fits on each of four.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DeviceMemory", "GpuOutOfMemoryError"]
+
+
+class GpuOutOfMemoryError(RuntimeError):
+    """Raised when an allocation exceeds the simulated device capacity."""
+
+
+class DeviceMemory:
+    """A named-buffer allocator with a fixed byte capacity."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._buffers: dict[str, int] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._buffers.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def alloc(self, name: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` under ``name``; name must be unused."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if name in self._buffers:
+            raise ValueError(f"buffer {name!r} already allocated")
+        if nbytes > self.free_bytes:
+            raise GpuOutOfMemoryError(
+                f"cannot allocate {nbytes / 2**30:.2f} GiB for {name!r}: "
+                f"{self.free_bytes / 2**30:.2f} GiB free of "
+                f"{self.capacity_bytes / 2**30:.2f} GiB"
+            )
+        self._buffers[name] = int(nbytes)
+
+    def free(self, name: str) -> None:
+        """Release the buffer named ``name``."""
+        try:
+            del self._buffers[name]
+        except KeyError:
+            raise KeyError(f"no buffer named {name!r}") from None
+
+    def holds(self, name: str) -> bool:
+        return name in self._buffers
+
+    def buffers(self) -> dict[str, int]:
+        return dict(self._buffers)

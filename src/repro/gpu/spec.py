@@ -1,0 +1,97 @@
+"""GPU device specifications for the simulated devices.
+
+The paper evaluates TPA-SCD on an NVIDIA Quadro M4000 and a GeForce GTX
+Titan X (Maxwell).  The spec captures exactly the properties the algorithm
+and its cost model depend on: SM count (level-1 parallelism — how many
+thread blocks are concurrently resident, which sets the staleness window of
+the asynchronous coordinate updates), memory capacity (the motivation for
+Section IV), memory bandwidth (TPA-SCD is bandwidth-bound: each nonzero is
+streamed once and atomically written once per epoch), and an effective
+memory-efficiency factor folding in atomic-add serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec", "QUADRO_M4000", "GTX_TITAN_X", "TESLA_P100"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static properties of a simulated GPU.
+
+    ``mem_efficiency`` is the calibrated fraction of peak DRAM bandwidth the
+    sparse TPA-SCD kernel sustains (scattered gathers + float atomics); it is
+    chosen so the modelled epoch times land in the speed-up bands the paper
+    reports (M4000 ~10-14x over 1-thread CPU, Titan X ~25-35x).
+    """
+
+    name: str
+    n_sms: int
+    cores_per_sm: int
+    clock_ghz: float
+    mem_capacity_gb: float
+    mem_bandwidth_gbs: float
+    mem_efficiency: float
+    max_resident_blocks_per_sm: int
+    block_overhead_s: float = 1.0e-7
+
+    def __post_init__(self) -> None:
+        if self.n_sms <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("SM geometry must be positive")
+        if not 0 < self.mem_efficiency <= 1:
+            raise ValueError("mem_efficiency must be in (0, 1]")
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_sms * self.cores_per_sm
+
+    @property
+    def mem_capacity_bytes(self) -> int:
+        return int(self.mem_capacity_gb * 2**30)
+
+    @property
+    def resident_blocks(self) -> int:
+        """Concurrently resident thread blocks == async staleness window."""
+        return self.n_sms * self.max_resident_blocks_per_sm
+
+
+#: Quadro M4000: 13 Maxwell SMs x 128 cores, 8 GB GDDR5 @ 192 GB/s.  The
+#: paper notes the 7.3 GB webspam sample "fits inside the memory capacity of
+#: the M4000 (the limit is 8GB)".
+QUADRO_M4000 = GpuSpec(
+    name="Quadro-M4000",
+    n_sms=13,
+    cores_per_sm=128,
+    clock_ghz=0.773,
+    mem_capacity_gb=8.0,
+    mem_bandwidth_gbs=192.3,
+    mem_efficiency=0.25,
+    max_resident_blocks_per_sm=16,
+)
+
+#: GeForce GTX Titan X (Maxwell): 24 SMs x 128 cores, 12 GB @ 336.6 GB/s.
+GTX_TITAN_X = GpuSpec(
+    name="GTX-Titan-X",
+    n_sms=24,
+    cores_per_sm=128,
+    clock_ghz=1.0,
+    mem_capacity_gb=12.0,
+    mem_bandwidth_gbs=336.6,
+    mem_efficiency=0.38,
+    max_resident_blocks_per_sm=16,
+)
+
+#: Tesla P100: the "up to 16 GB" state-of-the-art device the introduction
+#: mentions; included for what-if experiments.
+TESLA_P100 = GpuSpec(
+    name="Tesla-P100",
+    n_sms=56,
+    cores_per_sm=64,
+    clock_ghz=1.33,
+    mem_capacity_gb=16.0,
+    mem_bandwidth_gbs=732.0,
+    mem_efficiency=0.45,
+    max_resident_blocks_per_sm=16,
+)

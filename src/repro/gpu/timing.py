@@ -1,0 +1,39 @@
+"""Roofline-style epoch cost model for the simulated GPUs.
+
+TPA-SCD is memory-bandwidth bound: per epoch every stored nonzero is read
+once for the inner product (index + value + gathered shared-vector element)
+and written once through a float atomic add (read-modify-write).  The model
+prices that traffic against the device's sustained bandwidth (peak x the
+calibrated ``mem_efficiency``) and adds a per-thread-block scheduling
+overhead amortized over the SMs.
+"""
+
+from __future__ import annotations
+
+from ..perf.timing import EpochWorkload
+from .spec import GpuSpec
+
+__all__ = ["GpuTimingModel", "BYTES_PER_NNZ"]
+
+#: modelled DRAM traffic per stored nonzero per epoch:
+#: 4 B index read + 4 B value read + 4 B shared-vector gather +
+#: 8 B atomic read-modify-write = 20 B (32-bit types, as in the paper).
+BYTES_PER_NNZ = 20
+
+
+class GpuTimingModel:
+    """Prices one TPA-SCD epoch on a :class:`GpuSpec`."""
+
+    component = "compute_gpu"
+
+    def __init__(self, spec: GpuSpec) -> None:
+        self.spec = spec
+
+    def epoch_seconds(self, workload: EpochWorkload) -> float:
+        spec = self.spec
+        traffic = workload.nnz * BYTES_PER_NNZ
+        t_mem = traffic / (spec.mem_bandwidth_gbs * 1e9 * spec.mem_efficiency)
+        # blocks are dispatched across the SMs; each costs a small fixed
+        # scheduling overhead, overlapped across the device's SMs
+        t_blocks = workload.n_coords * spec.block_overhead_s / spec.n_sms
+        return t_mem + t_blocks

@@ -1,0 +1,16 @@
+"""Convergence histories, derived metrics, and cross-validation."""
+
+from .history import ConvergenceHistory, ConvergenceRecord, speedup
+from .cv import CvResult, cross_validate_path, kfold_indices
+from .rates import linear_rate, slowdown_factor
+
+__all__ = [
+    "ConvergenceHistory",
+    "ConvergenceRecord",
+    "speedup",
+    "CvResult",
+    "cross_validate_path",
+    "kfold_indices",
+    "linear_rate",
+    "slowdown_factor",
+]

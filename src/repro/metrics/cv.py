@@ -1,0 +1,114 @@
+"""K-fold cross-validation for regularization selection.
+
+Pairs with the warm-started elastic-net path: evaluate every lambda on held
+out folds and pick the one minimizing validation MSE (optionally with the
+one-standard-error rule glmnet popularized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (data -> metrics)
+    from ..data import Dataset
+
+__all__ = ["kfold_indices", "CvResult", "cross_validate_path"]
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Random K-fold split: list of (train_rows, valid_rows) per fold."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if n < k:
+        raise ValueError(f"cannot make {k} folds from {n} examples")
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, k)
+    out = []
+    for i in range(k):
+        valid = np.sort(folds[i])
+        train = np.sort(np.concatenate([folds[j] for j in range(k) if j != i]))
+        out.append((train, valid))
+    return out
+
+
+@dataclass
+class CvResult:
+    """Cross-validation outcome over a lambda grid."""
+
+    lambdas: np.ndarray
+    mean_mse: np.ndarray
+    std_mse: np.ndarray
+    best_lambda: float
+    one_se_lambda: float
+
+    def summary(self) -> str:
+        lines = ["   lambda      mean MSE     std"]
+        for lam, m, s in zip(self.lambdas, self.mean_mse, self.std_mse):
+            marker = ""
+            if lam == self.best_lambda:
+                marker += "  <- best"
+            if lam == self.one_se_lambda:
+                marker += "  <- 1-SE"
+            lines.append(f"   {lam:9.5f}  {m:10.5f}  {s:8.5f}{marker}")
+        return "\n".join(lines)
+
+
+def cross_validate_path(
+    dataset: "Dataset",
+    lambdas: np.ndarray,
+    *,
+    l1_ratio: float = 0.5,
+    k: int = 5,
+    n_epochs: int = 100,
+    tol: float = 1e-8,
+    seed: int = 0,
+) -> CvResult:
+    """K-fold CV of the elastic-net path; returns per-lambda validation MSE.
+
+    Each fold runs one warm-started path over its training split and scores
+    every lambda's solution on the held-out rows.  ``one_se_lambda`` is the
+    largest lambda within one standard error of the best mean MSE (the
+    sparser, more conservative glmnet pick).
+    """
+    from ..data import Dataset
+    from ..solvers.elasticnet import elastic_net_path
+
+    lambdas = np.asarray(lambdas, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    csr = dataset.csr
+    mse = np.zeros((k, lambdas.shape[0]))
+    for fold, (train_rows, valid_rows) in enumerate(
+        kfold_indices(dataset.n_examples, k, rng)
+    ):
+        train = Dataset(
+            matrix=csr.take_rows(train_rows),
+            y=dataset.y[train_rows],
+            name=f"{dataset.name}-fold{fold}",
+        )
+        valid_matrix = csr.take_rows(valid_rows)
+        valid_y = dataset.y[valid_rows]
+        path = elastic_net_path(
+            train, lambdas, l1_ratio=l1_ratio, n_epochs=n_epochs, tol=tol, seed=seed
+        )
+        for j, (_, beta, _) in enumerate(path):
+            pred = valid_matrix.matvec(beta)
+            mse[fold, j] = float(np.mean((pred - valid_y) ** 2))
+
+    mean = mse.mean(axis=0)
+    std = mse.std(axis=0, ddof=1) / np.sqrt(k)
+    best_idx = int(np.argmin(mean))
+    threshold = mean[best_idx] + std[best_idx]
+    # largest lambda (grid is decreasing, so the earliest index) within 1 SE
+    one_se_idx = int(np.nonzero(mean <= threshold)[0][0])
+    return CvResult(
+        lambdas=lambdas,
+        mean_mse=mean,
+        std_mse=std,
+        best_lambda=float(lambdas[best_idx]),
+        one_se_lambda=float(lambdas[one_se_idx]),
+    )

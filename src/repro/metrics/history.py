@@ -1,0 +1,116 @@
+"""Convergence bookkeeping shared by every solver and experiment driver.
+
+The paper's evaluation plots are all derived from (epoch, duality-gap,
+time) triples; this module is the single home for recording them and for the
+derived quantities the figures need (time-to-target-epsilon, speedups).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ConvergenceRecord", "ConvergenceHistory", "speedup"]
+
+
+@dataclass(frozen=True)
+class ConvergenceRecord:
+    """State of a run after a given epoch.
+
+    ``sim_time`` is modelled wall-clock seconds from the performance models
+    (the substitute for the paper's measured time axis); ``wall_time`` is the
+    actual host time spent, kept for harness diagnostics only.
+    """
+
+    epoch: int
+    gap: float
+    objective: float
+    sim_time: float
+    wall_time: float
+    updates: int
+    extras: dict = field(default_factory=dict)
+
+
+class ConvergenceHistory:
+    """An ordered list of :class:`ConvergenceRecord` with figure helpers."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.records: list[ConvergenceRecord] = []
+
+    def append(self, record: ConvergenceRecord) -> None:
+        if self.records and record.epoch < self.records[-1].epoch:
+            raise ValueError("records must be appended in epoch order")
+        self.records.append(record)
+
+    # -- column views ------------------------------------------------------
+    @property
+    def epochs(self) -> np.ndarray:
+        return np.array([r.epoch for r in self.records])
+
+    @property
+    def gaps(self) -> np.ndarray:
+        return np.array([r.gap for r in self.records])
+
+    @property
+    def sim_times(self) -> np.ndarray:
+        return np.array([r.sim_time for r in self.records])
+
+    @property
+    def objectives(self) -> np.ndarray:
+        return np.array([r.objective for r in self.records])
+
+    def final_gap(self) -> float:
+        if not self.records:
+            raise ValueError("history is empty")
+        return self.records[-1].gap
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # -- figure-level reductions ----------------------------------------------
+    def time_to_gap(self, eps: float) -> float:
+        """First modelled time at which the duality gap drops below ``eps``.
+
+        Returns ``math.inf`` when the run never reaches the target — the
+        paper's Fig. 6/8 semantics (curves simply end).
+        """
+        for r in self.records:
+            if r.gap <= eps:
+                return r.sim_time
+        return math.inf
+
+    def epochs_to_gap(self, eps: float) -> float:
+        """First epoch at which the gap drops below ``eps`` (inf if never)."""
+        for r in self.records:
+            if r.gap <= eps:
+                return float(r.epoch)
+        return math.inf
+
+    def extras_series(self, key: str) -> np.ndarray:
+        """Collect ``extras[key]`` across records (NaN where missing)."""
+        return np.array(
+            [r.extras.get(key, math.nan) for r in self.records], dtype=np.float64
+        )
+
+
+def speedup(reference: ConvergenceHistory, candidate: ConvergenceHistory, eps: float) -> float:
+    """Training-time speedup of ``candidate`` over ``reference`` at gap ``eps``.
+
+    Matches the paper's definition: "the same level of duality gap can be
+    achieved in a shorter amount of time (even if more epochs are required)".
+    """
+    t_ref = reference.time_to_gap(eps)
+    t_new = candidate.time_to_gap(eps)
+    if math.isinf(t_new):
+        return 0.0
+    if math.isinf(t_ref):
+        return math.inf
+    if t_new <= 0.0:
+        return math.inf
+    return t_ref / t_new

@@ -1,0 +1,57 @@
+"""Convergence-rate estimation from histories.
+
+The paper's Fig. 3 claim is an "approximately linear slow-down in
+convergence speed as a function of epochs" when adding workers.  Fitting
+the linear-convergence rate (the slope of log-gap against epochs) makes
+that claim quantitative: the per-epoch contraction factor at K workers
+should be roughly the K-th root of the single-worker factor, i.e. the rate
+(in nats/epoch) scales like 1/K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .history import ConvergenceHistory
+
+__all__ = ["linear_rate", "slowdown_factor"]
+
+
+def linear_rate(
+    history: ConvergenceHistory,
+    *,
+    gap_floor: float = 1e-14,
+    skip: int = 1,
+) -> float:
+    """Per-epoch contraction rate in nats: gap ~ C exp(-rate * epoch).
+
+    Least-squares slope of ``-log(gap)`` over the monitored epochs, using
+    points above ``gap_floor`` (float plateaus would bias the fit) and
+    skipping the first ``skip`` records (transient).  Returns ``nan`` when
+    fewer than two usable points remain.
+    """
+    epochs = history.epochs.astype(np.float64)
+    gaps = history.gaps.astype(np.float64)
+    mask = np.isfinite(gaps) & (gaps > gap_floor)
+    mask[:skip] = False
+    if mask.sum() < 2:
+        return float("nan")
+    x = epochs[mask]
+    z = -np.log(gaps[mask])
+    slope = np.polyfit(x, z, 1)[0]
+    return float(slope)
+
+
+def slowdown_factor(
+    reference: ConvergenceHistory, candidate: ConvergenceHistory, **kw
+) -> float:
+    """Ratio of per-epoch rates: how many times slower the candidate is.
+
+    For distributed SCD at K workers vs one worker the paper's shape is a
+    factor of roughly K.
+    """
+    r_ref = linear_rate(reference, **kw)
+    r_new = linear_rate(candidate, **kw)
+    if not np.isfinite(r_ref) or not np.isfinite(r_new) or r_new <= 0:
+        return float("nan")
+    return r_ref / r_new

@@ -1,0 +1,24 @@
+"""Training objectives: ridge regression (paper) and GLM extensions."""
+
+from .elasticnet import ElasticNetProblem, soft_threshold
+from .logistic import LogisticProblem
+from .ridge import (
+    ExactSolution,
+    RidgeProblem,
+    dual_coordinate_delta,
+    primal_coordinate_delta,
+    solve_exact,
+)
+from .svm import SvmProblem
+
+__all__ = [
+    "ElasticNetProblem",
+    "soft_threshold",
+    "ExactSolution",
+    "RidgeProblem",
+    "dual_coordinate_delta",
+    "primal_coordinate_delta",
+    "solve_exact",
+    "SvmProblem",
+    "LogisticProblem",
+]

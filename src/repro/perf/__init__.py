@@ -1,0 +1,23 @@
+"""Shared performance-model primitives: links, ledgers, timing protocol."""
+
+from .ledger import COMPONENTS, TimeLedger
+from .link import (
+    ETHERNET_10G,
+    ETHERNET_100G,
+    PCIE3_X16_PAGEABLE,
+    PCIE3_X16_PINNED,
+    Link,
+)
+from .timing import EpochWorkload, LocalTiming
+
+__all__ = [
+    "COMPONENTS",
+    "TimeLedger",
+    "Link",
+    "ETHERNET_10G",
+    "ETHERNET_100G",
+    "PCIE3_X16_PINNED",
+    "PCIE3_X16_PAGEABLE",
+    "EpochWorkload",
+    "LocalTiming",
+]

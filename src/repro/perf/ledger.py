@@ -1,0 +1,62 @@
+"""Time accounting for the modelled execution phases.
+
+The paper's Fig. 9 decomposes distributed TPA-SCD wall-clock into GPU
+compute, host compute, PCIe transfer and network communication.  Every
+modelled phase in this library books its seconds into a :class:`TimeLedger`
+under one of those component names so the breakdown figure falls out of the
+ledger directly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["TimeLedger", "COMPONENTS"]
+
+#: canonical component names, in the stacking order of the paper's Fig. 9
+COMPONENTS = ("compute_gpu", "compute_host", "comm_pcie", "comm_network")
+
+
+class TimeLedger:
+    """Accumulates modelled seconds per execution component."""
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = defaultdict(float)
+
+    def add(self, component: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative time for {component!r}: {seconds}")
+        self._seconds[component] += seconds
+
+    def get(self, component: str) -> float:
+        return self._seconds.get(component, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Return a copy of the per-component totals (canonical order first)."""
+        out = {c: self._seconds.get(c, 0.0) for c in COMPONENTS}
+        for k, v in self._seconds.items():
+            if k not in out:
+                out[k] = v
+        return out
+
+    def merged_with(self, other: "TimeLedger") -> "TimeLedger":
+        merged = TimeLedger()
+        for k, v in self._seconds.items():
+            merged.add(k, v)
+        for k, v in other._seconds.items():
+            merged.add(k, v)
+        return merged
+
+    def copy(self) -> "TimeLedger":
+        out = TimeLedger()
+        for k, v in self._seconds.items():
+            out.add(k, v)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v:.4g}s" for k, v in self.breakdown().items() if v)
+        return f"TimeLedger({parts or 'empty'})"

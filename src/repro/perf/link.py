@@ -1,0 +1,78 @@
+"""Latency + bandwidth cost models for interconnects.
+
+A single :class:`Link` abstraction covers every transfer medium in the
+paper's testbeds: the 10 Gbit Ethernet between worker machines, the PCIe 3.0
+x16 links between host and GPU (with or without pinned host memory), and the
+hypothetical 100 GbE upgrade the paper speculates about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Link",
+    "ETHERNET_10G",
+    "ETHERNET_100G",
+    "PCIE3_X16_PINNED",
+    "PCIE3_X16_PAGEABLE",
+]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point transfer medium.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    bandwidth_gbytes:
+        Sustained payload bandwidth in gigabytes/second.
+    latency_s:
+        Per-message latency (setup + first byte) in seconds.
+    efficiency:
+        Fraction of nominal bandwidth achievable for large transfers
+        (protocol overhead, DMA setup, ...).
+    """
+
+    name: str
+    bandwidth_gbytes: float
+    latency_s: float
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbytes <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    def transfer_seconds(self, n_bytes: int | float) -> float:
+        """Modelled time to move ``n_bytes`` across the link."""
+        if n_bytes < 0:
+            raise ValueError("cannot transfer a negative byte count")
+        return self.latency_s + n_bytes / (
+            self.bandwidth_gbytes * 1e9 * self.efficiency
+        )
+
+
+#: 10 GbE as used between the paper's Xeon machines.  ~1.0 GB/s effective.
+ETHERNET_10G = Link("10GbE", bandwidth_gbytes=1.25, latency_s=50e-6, efficiency=0.85)
+
+#: the 100 GbE upgrade the paper suggests would improve scaling further.
+ETHERNET_100G = Link("100GbE", bandwidth_gbytes=12.5, latency_s=30e-6, efficiency=0.85)
+
+#: PCIe 3.0 x16 with pinned (page-locked) host memory — what the paper uses
+#: for shared-vector transfers ("pinned memory functionality offered by CUDA
+#: to achieve maximum throughput").
+PCIE3_X16_PINNED = Link(
+    "PCIe3-x16-pinned", bandwidth_gbytes=15.75, latency_s=10e-6, efficiency=0.76
+)
+
+#: PCIe 3.0 x16 with pageable host memory — the slower default path, kept for
+#: the pinned-vs-pageable ablation.
+PCIE3_X16_PAGEABLE = Link(
+    "PCIe3-x16-pageable", bandwidth_gbytes=15.75, latency_s=25e-6, efficiency=0.40
+)

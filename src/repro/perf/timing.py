@@ -1,0 +1,49 @@
+"""The timing protocol every local-solver cost model implements.
+
+Solvers run their real update arithmetic on the host, but the *time axes* of
+the reproduced figures come from device models (CPU thread models, the GPU
+simulator).  The contract between them is one epoch's workload summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = ["EpochWorkload", "LocalTiming"]
+
+
+@dataclass(frozen=True)
+class EpochWorkload:
+    """The per-epoch work a local solver performs.
+
+    Attributes
+    ----------
+    n_coords:
+        Coordinates updated this epoch (columns for primal, rows for dual).
+    nnz:
+        Stored nonzeros touched — each is read once for the inner product and
+        written once for the shared-vector update.
+    shared_len:
+        Length of the shared vector that coordinate updates scatter into.
+    """
+
+    n_coords: int
+    nnz: int
+    shared_len: int
+
+    def __post_init__(self) -> None:
+        if self.n_coords < 0 or self.nnz < 0 or self.shared_len < 0:
+            raise ValueError("workload quantities must be non-negative")
+
+
+@runtime_checkable
+class LocalTiming(Protocol):
+    """Anything that can price one epoch of coordinate descent."""
+
+    #: ledger component this device books compute under
+    component: str
+
+    def epoch_seconds(self, workload: EpochWorkload) -> float:
+        """Modelled seconds to execute one epoch of the given workload."""
+        ...

@@ -1,0 +1,30 @@
+"""CPU coordinate-descent solvers: sequential SCD, async baselines, extensions."""
+
+from .ascd import ASCD, AsyncCpuKernelFactory, PASSCoDeWild
+from .batch_gd import BatchGD, power_iteration_lipschitz
+from .base import BoundKernel, KernelFactory, ScdSolver, TrainResult
+from .elasticnet import ElasticNetCD, elastic_net_path, lambda_grid
+from .logistic import LogisticSdca
+from .scd import SequentialKernelFactory, SequentialSCD
+from .sgd import SgdSolver
+from .svm import SvmSdca
+
+__all__ = [
+    "ASCD",
+    "BatchGD",
+    "power_iteration_lipschitz",
+    "AsyncCpuKernelFactory",
+    "PASSCoDeWild",
+    "BoundKernel",
+    "KernelFactory",
+    "ScdSolver",
+    "TrainResult",
+    "SequentialKernelFactory",
+    "SequentialSCD",
+    "SgdSolver",
+    "ElasticNetCD",
+    "elastic_net_path",
+    "lambda_grid",
+    "LogisticSdca",
+    "SvmSdca",
+]

@@ -1,0 +1,229 @@
+"""Solver framework: kernel factories, bound kernels, and the epoch driver.
+
+Every solver in the paper — sequential SCD, the asynchronous CPU variants,
+and GPU TPA-SCD — performs the *same* outer loop (Algorithm 1's epoch
+structure); they differ only in how one epoch executes and how long it takes.
+That split is captured here:
+
+* a :class:`KernelFactory` binds a data partition to an executable epoch
+  kernel plus a device timing model, producing a :class:`BoundKernel`;
+* :class:`ScdSolver` is the generic training driver: permutation stream,
+  epoch loop, modelled-time accumulation, duality-gap monitoring;
+* the distributed engine (``repro.core.distributed``) reuses the same
+  factories to bind each worker's local partition.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..metrics import ConvergenceHistory, ConvergenceRecord
+from ..objectives.ridge import RidgeProblem
+from ..perf.timing import EpochWorkload, LocalTiming
+from ..sparse import CscMatrix, CsrMatrix
+
+__all__ = [
+    "BoundKernel",
+    "KernelFactory",
+    "ScdSolver",
+    "TrainResult",
+]
+
+
+@dataclass
+class BoundKernel:
+    """An epoch kernel bound to one data partition.
+
+    ``run_epoch(weights, shared, perm, rng)`` advances the model by one pass
+    over ``perm`` (local coordinate indices), updating ``weights`` and the
+    ``shared`` vector in place, and returns the number of lost shared-vector
+    element updates (nonzero only for "wild" write semantics).
+    """
+
+    run_epoch: Callable[[np.ndarray, np.ndarray, np.ndarray, np.random.Generator], int]
+    workload: EpochWorkload
+    timing: LocalTiming
+    n_coords: int
+    shared_len: int
+    dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float64))
+
+    def epoch_seconds(self) -> float:
+        """Modelled duration of one epoch on this kernel's device."""
+        return self.timing.epoch_seconds(self.workload)
+
+
+class KernelFactory(Protocol):
+    """Builds bound kernels for either formulation of ridge regression."""
+
+    #: human-readable solver label used in histories and reports
+    name: str
+
+    def bind_primal(
+        self, csc: CscMatrix, y: np.ndarray, n_global: int, lam: float
+    ) -> BoundKernel:
+        """Bind the primal update rule to a (possibly partial) column set.
+
+        ``csc`` holds the worker's local feature columns over all ``N``
+        examples; ``y`` is the *global* label vector; the shared vector is
+        ``w = A beta`` of global length ``N``.
+        """
+        ...
+
+    def bind_dual(
+        self, csr: CsrMatrix, y_local: np.ndarray, n_global: int, lam: float
+    ) -> BoundKernel:
+        """Bind the dual update rule to a (possibly partial) row set.
+
+        ``csr`` holds the worker's local example rows over all ``M``
+        features; ``y_local`` are that partition's labels; the shared vector
+        is ``wbar = A^T alpha`` of global length ``M``.
+        """
+        ...
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    formulation: str
+    weights: np.ndarray
+    shared: np.ndarray
+    history: ConvergenceHistory
+    solver_name: str
+    lost_updates: int = 0
+
+    def primal_weights(self, problem: RidgeProblem) -> np.ndarray:
+        """The model usable for prediction, mapping dual iterates via Eq. 5."""
+        if self.formulation == "primal":
+            return self.weights
+        return problem.beta_from_alpha(self.weights)
+
+    def predict(self, problem: RidgeProblem, matrix: CsrMatrix) -> np.ndarray:
+        """Linear predictions on a (test) matrix in CSR layout."""
+        return matrix.matvec(self.primal_weights(problem))
+
+
+class ScdSolver:
+    """Generic single-node stochastic coordinate descent driver.
+
+    Parameters
+    ----------
+    factory:
+        Device-specific kernel factory (sequential CPU, async CPU, GPU).
+    formulation:
+        ``"primal"`` (coordinates = features, Eq. 2) or ``"dual"``
+        (coordinates = examples, Eq. 4).
+    seed:
+        Seeds the permutation stream and any stochastic execution effects.
+    """
+
+    def __init__(
+        self, factory: KernelFactory, formulation: str = "primal", seed: int = 0
+    ) -> None:
+        if formulation not in ("primal", "dual"):
+            raise ValueError(f"unknown formulation {formulation!r}")
+        self.factory = factory
+        self.formulation = formulation
+        self.seed = int(seed)
+
+    @property
+    def name(self) -> str:
+        return f"{self.factory.name}[{self.formulation}]"
+
+    def _bind(self, problem: RidgeProblem) -> BoundKernel:
+        if self.formulation == "primal":
+            return self.factory.bind_primal(
+                problem.dataset.csc, problem.y, problem.n, problem.lam
+            )
+        return self.factory.bind_dual(
+            problem.dataset.csr, problem.y, problem.n, problem.lam
+        )
+
+    def _gap(self, problem: RidgeProblem, weights: np.ndarray) -> tuple[float, float]:
+        """Offline (gap, objective) evaluation; never counted in sim time.
+
+        The shared vector is deliberately *recomputed* from the weights: for
+        wild write semantics the maintained shared vector drifts away from
+        ``A beta`` and the paper evaluates the quality of the model weights
+        themselves.
+        """
+        w64 = weights.astype(np.float64)
+        if self.formulation == "primal":
+            return problem.primal_gap(w64), problem.primal_objective(w64)
+        return problem.dual_gap(w64), problem.dual_objective(w64)
+
+    def solve(
+        self,
+        problem: RidgeProblem,
+        n_epochs: int,
+        *,
+        monitor_every: int = 1,
+        target_gap: float | None = None,
+    ) -> TrainResult:
+        """Train for up to ``n_epochs`` epochs.
+
+        ``monitor_every`` controls how often the duality gap is evaluated;
+        ``target_gap`` stops early once the gap reaches the target (checked
+        only at monitored epochs, like the paper's time-to-epsilon runs).
+        """
+        if n_epochs < 0:
+            raise ValueError("n_epochs must be non-negative")
+        if monitor_every < 1:
+            raise ValueError("monitor_every must be >= 1")
+        bound = self._bind(problem)
+        rng = np.random.default_rng(self.seed)
+        weights = np.zeros(bound.n_coords, dtype=bound.dtype)
+        shared = np.zeros(bound.shared_len, dtype=bound.dtype)
+        history = ConvergenceHistory(label=self.name)
+        sim_time = 0.0
+        lost_total = 0
+        t0 = time.perf_counter()
+
+        gap, obj = self._gap(problem, weights)
+        history.append(
+            ConvergenceRecord(
+                epoch=0,
+                gap=gap,
+                objective=obj,
+                sim_time=0.0,
+                wall_time=0.0,
+                updates=0,
+            )
+        )
+
+        epoch_cost = bound.epoch_seconds()
+        updates = 0
+        for epoch in range(1, n_epochs + 1):
+            perm = rng.permutation(bound.n_coords)
+            lost = bound.run_epoch(weights, shared, perm, rng)
+            lost_total += lost
+            updates += bound.n_coords
+            sim_time += epoch_cost
+            if epoch % monitor_every == 0 or epoch == n_epochs:
+                gap, obj = self._gap(problem, weights)
+                history.append(
+                    ConvergenceRecord(
+                        epoch=epoch,
+                        gap=gap,
+                        objective=obj,
+                        sim_time=sim_time,
+                        wall_time=time.perf_counter() - t0,
+                        updates=updates,
+                        extras={"lost_updates": lost_total},
+                    )
+                )
+                if target_gap is not None and gap <= target_gap:
+                    break
+
+        return TrainResult(
+            formulation=self.formulation,
+            weights=weights,
+            shared=shared,
+            history=history,
+            solver_name=self.name,
+            lost_updates=lost_total,
+        )

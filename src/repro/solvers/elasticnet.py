@@ -1,0 +1,166 @@
+"""Sequential coordinate-descent solver for the elastic-net objective.
+
+Structurally identical to Algorithm 1: a random permutation of the feature
+coordinates per epoch, a maintained shared vector ``w = A beta``, and the
+closed-form coordinate step (here soft-thresholded).  Convergence is
+monitored through the objective value and the KKT violation, since the
+elastic net has no duality gap as convenient as ridge's.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..metrics import ConvergenceHistory, ConvergenceRecord
+from ..objectives.elasticnet import ElasticNetProblem
+
+__all__ = ["ElasticNetCD", "elastic_net_path", "lambda_grid"]
+
+
+class ElasticNetCD:
+    """Cyclic-random coordinate descent for elastic-net regression."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.name = "ElasticNetCD"
+
+    def solve(
+        self,
+        problem: ElasticNetProblem,
+        n_epochs: int,
+        *,
+        monitor_every: int = 1,
+        tol: float | None = None,
+        init_beta: np.ndarray | None = None,
+    ):
+        """Train for up to ``n_epochs`` epochs.
+
+        ``tol`` stops early once the KKT violation drops below it (checked
+        at monitored epochs).  ``init_beta`` warm-starts the weights — the
+        key ingredient of Friedman et al.'s pathwise strategy (the paper's
+        [4]).  Returns ``(beta, history)``.
+        """
+        if n_epochs < 0:
+            raise ValueError("n_epochs must be non-negative")
+        if monitor_every < 1:
+            raise ValueError("monitor_every must be >= 1")
+        csc = problem.dataset.csc
+        y = problem.y.astype(np.float64)
+        indptr, indices, data = csc.indptr, csc.indices, csc.data
+        norms = csc.col_norms_sq().astype(np.float64)
+        if init_beta is not None:
+            if init_beta.shape != (problem.m,):
+                raise ValueError(
+                    f"init_beta has shape {init_beta.shape}, expected ({problem.m},)"
+                )
+            beta = init_beta.astype(np.float64).copy()
+            w = csc.matvec(beta)
+        else:
+            beta = np.zeros(problem.m, dtype=np.float64)
+            w = np.zeros(problem.n, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        history = ConvergenceHistory(label=self.name)
+        t0 = time.perf_counter()
+        history.append(
+            ConvergenceRecord(
+                epoch=0,
+                gap=problem.subgradient_optimality(beta, w),
+                objective=problem.objective(beta, w),
+                sim_time=0.0,
+                wall_time=0.0,
+                updates=0,
+            )
+        )
+        updates = 0
+        for epoch in range(1, n_epochs + 1):
+            for m in rng.permutation(problem.m):
+                lo, hi = indptr[m], indptr[m + 1]
+                idx = indices[lo:hi]
+                v = data[lo:hi]
+                residual_dot = float(v @ (y[idx] - w[idx])) if lo != hi else 0.0
+                delta = problem.coordinate_delta(
+                    m, float(beta[m]), residual_dot, float(norms[m])
+                )
+                if delta != 0.0:
+                    beta[m] += delta
+                    if lo != hi:
+                        w[idx] += v * delta
+                updates += 1
+            if epoch % monitor_every == 0 or epoch == n_epochs:
+                kkt = problem.subgradient_optimality(beta, w)
+                history.append(
+                    ConvergenceRecord(
+                        epoch=epoch,
+                        gap=kkt,
+                        objective=problem.objective(beta, w),
+                        sim_time=time.perf_counter() - t0,
+                        wall_time=time.perf_counter() - t0,
+                        updates=updates,
+                        extras={"nnz_beta": int(np.count_nonzero(beta))},
+                    )
+                )
+                if tol is not None and kkt <= tol:
+                    break
+        return beta, history
+
+
+def lambda_grid(
+    problem_dataset, l1_ratio: float, *, n_lambdas: int = 20, ratio: float = 1e-3
+) -> np.ndarray:
+    """Geometric lambda grid from lambda_max down, as in glmnet ([4]).
+
+    ``lambda_max`` is the smallest lambda at which the all-zeros model is
+    optimal: ``max_m |<a_m, y>| / (N * l1_ratio)``.  For ``l1_ratio = 0``
+    there is no finite lambda_max; a unit-scale grid is returned instead.
+    """
+    if n_lambdas < 1:
+        raise ValueError("n_lambdas must be >= 1")
+    if not 0.0 < ratio < 1.0:
+        raise ValueError("ratio must be in (0, 1)")
+    csc = problem_dataset.csc
+    y = problem_dataset.y.astype(np.float64)
+    n = problem_dataset.n_examples
+    corr = np.abs(csc.rmatvec(y)) / n
+    top = float(corr.max()) if corr.size else 1.0
+    if l1_ratio > 0.0:
+        lam_max = top / l1_ratio
+    else:
+        lam_max = top
+    # nudge above the boundary so rounding in `top / l1_ratio * l1_ratio`
+    # cannot leave the largest-correlation coordinate marginally active
+    lam_max *= 1.0 + 1e-9
+    return np.geomspace(lam_max, lam_max * ratio, n_lambdas)
+
+
+def elastic_net_path(
+    dataset,
+    lambdas: np.ndarray,
+    *,
+    l1_ratio: float = 0.5,
+    n_epochs: int = 100,
+    tol: float = 1e-8,
+    seed: int = 0,
+):
+    """Warm-started regularization path (Friedman et al. [4]).
+
+    Solves the elastic net along a decreasing ``lambdas`` grid, initializing
+    each problem at the previous solution.  Returns a list of
+    ``(lam, beta, history)`` triples in grid order.
+    """
+    lambdas = np.asarray(lambdas, dtype=np.float64)
+    if lambdas.size == 0:
+        return []
+    if np.any(np.diff(lambdas) > 0):
+        raise ValueError("lambdas must be non-increasing for warm starts")
+    solver = ElasticNetCD(seed=seed)
+    path = []
+    beta = None
+    for lam in lambdas:
+        problem = ElasticNetProblem(dataset, float(lam), l1_ratio=l1_ratio)
+        beta, history = solver.solve(
+            problem, n_epochs, monitor_every=1, tol=tol, init_beta=beta
+        )
+        path.append((float(lam), beta.copy(), history))
+    return path

@@ -1,0 +1,264 @@
+"""Epoch kernels for stochastic coordinate descent.
+
+Three execution semantics are implemented, all operating on raw compressed
+arrays for speed (the per-coordinate loop is the hot path of the whole
+library — see the profiling notes in DESIGN.md):
+
+* :func:`primal_epoch_sequential` / :func:`dual_epoch_sequential` — exact
+  Algorithm 1: coordinates are visited one at a time and every update sees
+  the fully up-to-date shared vector.
+* :func:`primal_epoch_chunked` / :func:`dual_epoch_chunked` — the
+  asynchronous-CPU model: coordinates are processed in chunks of
+  ``chunk_size`` (= number of hardware threads).  All inner products within
+  a chunk read the shared vector *as of the chunk start* (stale reads), and
+  the write-back semantics are selectable:
+
+  - ``write_mode="atomic"`` — every update is applied (A-SCD, Tran et al.);
+  - ``write_mode="wild"`` — racing writers to the same shared-vector entry
+    lose updates with probability ``loss_prob`` (PASSCoDe-Wild, Hsieh et
+    al.): each non-final writer's contribution survives only with
+    probability ``1 - loss_prob``.
+
+  ``chunk_size=1`` reduces exactly to the sequential semantics, which the
+  property tests verify.
+
+The GPU TPA-SCD kernel lives in :mod:`repro.gpu.kernels`; it shares the
+chunk framing (a chunk = one wave of resident thread blocks) but emulates
+per-thread-block float32 arithmetic including the shared-memory tree
+reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.matrix import _ranges_concat
+
+__all__ = [
+    "primal_epoch_sequential",
+    "dual_epoch_sequential",
+    "primal_epoch_chunked",
+    "dual_epoch_chunked",
+    "gather_chunk",
+    "apply_chunk_updates",
+]
+
+
+# ---------------------------------------------------------------------------
+# exact sequential kernels (Algorithm 1)
+# ---------------------------------------------------------------------------
+
+
+def primal_epoch_sequential(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    y_dots: np.ndarray,
+    inv_denom: np.ndarray,
+    nlam: float,
+    beta: np.ndarray,
+    w: np.ndarray,
+    perm: np.ndarray,
+) -> None:
+    """One exact SCD epoch over the permuted feature coordinates.
+
+    Parameters are pre-bound raw arrays:  ``y_dots[m] = <y, a_m>`` and
+    ``inv_denom[m] = 1 / (||a_m||^2 + N lam)`` are precomputed once per
+    training run so the inner loop is three numpy kernel calls per
+    coordinate.  ``beta`` and ``w`` are updated in place.
+    """
+    for m in perm:
+        lo = indptr[m]
+        hi = indptr[m + 1]
+        if lo == hi:
+            # empty column: optimum shrinks the weight towards zero exactly
+            delta = -beta[m] * nlam * inv_denom[m]
+            beta[m] += delta
+            continue
+        idx = indices[lo:hi]
+        v = data[lo:hi]
+        delta = (y_dots[m] - v @ w[idx] - nlam * beta[m]) * inv_denom[m]
+        beta[m] += delta
+        w[idx] += v * delta
+
+
+def dual_epoch_sequential(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    y: np.ndarray,
+    inv_denom: np.ndarray,
+    lam: float,
+    nlam: float,
+    alpha: np.ndarray,
+    wbar: np.ndarray,
+    perm: np.ndarray,
+) -> None:
+    """One exact SDCA epoch over the permuted example coordinates (Eq. 4)."""
+    for i in perm:
+        lo = indptr[i]
+        hi = indptr[i + 1]
+        idx = indices[lo:hi]
+        v = data[lo:hi]
+        delta = (lam * y[i] - v @ wbar[idx] - nlam * alpha[i]) * inv_denom[i]
+        alpha[i] += delta
+        if lo != hi:
+            wbar[idx] += v * delta
+
+
+# ---------------------------------------------------------------------------
+# chunked asynchronous kernels (A-SCD / PASSCoDe-Wild execution model)
+# ---------------------------------------------------------------------------
+
+
+def gather_chunk(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    coords: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate the nonzeros of a set of coordinates.
+
+    Returns ``(flat_minor_indices, flat_values, seg_ptr)`` where ``seg_ptr``
+    delimits each coordinate's run inside the flat arrays.
+    """
+    lengths = indptr[coords + 1] - indptr[coords]
+    seg_ptr = np.empty(coords.shape[0] + 1, dtype=np.int64)
+    seg_ptr[0] = 0
+    np.cumsum(lengths, out=seg_ptr[1:])
+    flat = _ranges_concat(indptr[coords], lengths)
+    return indices[flat], data[flat], seg_ptr
+
+
+def _segment_dots(
+    flat_idx: np.ndarray,
+    flat_val: np.ndarray,
+    seg_ptr: np.ndarray,
+    vec: np.ndarray,
+) -> np.ndarray:
+    """Per-coordinate inner products ``<a_j, vec>`` over a gathered chunk."""
+    prods = flat_val * vec[flat_idx]
+    prefix = np.empty(prods.shape[0] + 1, dtype=np.float64)
+    prefix[0] = 0.0
+    np.cumsum(prods, dtype=np.float64, out=prefix[1:])
+    return prefix[seg_ptr[1:]] - prefix[seg_ptr[:-1]]
+
+
+def apply_chunk_updates(
+    vec: np.ndarray,
+    flat_idx: np.ndarray,
+    contrib: np.ndarray,
+    *,
+    write_mode: str,
+    loss_prob: float,
+    rng: np.random.Generator | None,
+) -> int:
+    """Write a chunk's shared-vector contributions back.
+
+    Returns the number of *lost* element updates (0 in atomic mode), which
+    the solvers expose for diagnostics.
+
+    In ``wild`` mode the writers race: for every shared-vector entry touched
+    by multiple coordinates in the chunk, the chronologically last write
+    always lands and each earlier one survives only with probability
+    ``1 - loss_prob``.  ``flat_idx``'s order encodes chronology (coordinates
+    appear in their chunk order).
+    """
+    if flat_idx.shape[0] == 0:
+        return 0
+    if write_mode == "atomic":
+        np.add.at(vec, flat_idx, contrib)
+        return 0
+    if write_mode != "wild":
+        raise ValueError(f"unknown write_mode {write_mode!r}")
+
+    order = np.argsort(flat_idx, kind="stable")
+    rows_sorted = flat_idx[order]
+    is_last = np.empty(rows_sorted.shape[0], dtype=bool)
+    is_last[:-1] = rows_sorted[:-1] != rows_sorted[1:]
+    is_last[-1] = True
+    keep = is_last.copy()
+    racing = ~is_last
+    n_racing = int(racing.sum())
+    if n_racing:
+        if loss_prob >= 1.0:
+            survive = np.zeros(n_racing, dtype=bool)
+        elif loss_prob <= 0.0:
+            survive = np.ones(n_racing, dtype=bool)
+        else:
+            if rng is None:
+                raise ValueError("wild mode with 0<loss_prob<1 requires an rng")
+            survive = rng.random(n_racing) >= loss_prob
+        keep[racing] = survive
+    kept = order[keep]
+    np.add.at(vec, flat_idx[kept], contrib[kept])
+    return int((~keep).sum())
+
+
+def primal_epoch_chunked(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    y_dots: np.ndarray,
+    inv_denom: np.ndarray,
+    nlam: float,
+    beta: np.ndarray,
+    w: np.ndarray,
+    perm: np.ndarray,
+    chunk_size: int,
+    *,
+    write_mode: str = "atomic",
+    loss_prob: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> int:
+    """One asynchronous primal epoch; returns total lost element-updates."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    lost = 0
+    n_coords = perm.shape[0]
+    for start in range(0, n_coords, chunk_size):
+        coords = perm[start : start + chunk_size]
+        flat_idx, flat_val, seg_ptr = gather_chunk(indptr, indices, data, coords)
+        dots = _segment_dots(flat_idx, flat_val, seg_ptr, w)
+        deltas = (y_dots[coords] - dots - nlam * beta[coords]) * inv_denom[coords]
+        beta[coords] += deltas
+        contrib = flat_val * np.repeat(deltas, np.diff(seg_ptr))
+        lost += apply_chunk_updates(
+            w, flat_idx, contrib, write_mode=write_mode, loss_prob=loss_prob, rng=rng
+        )
+    return lost
+
+
+def dual_epoch_chunked(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    y: np.ndarray,
+    inv_denom: np.ndarray,
+    lam: float,
+    nlam: float,
+    alpha: np.ndarray,
+    wbar: np.ndarray,
+    perm: np.ndarray,
+    chunk_size: int,
+    *,
+    write_mode: str = "atomic",
+    loss_prob: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> int:
+    """One asynchronous dual epoch; returns total lost element-updates."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    lost = 0
+    n_coords = perm.shape[0]
+    for start in range(0, n_coords, chunk_size):
+        coords = perm[start : start + chunk_size]
+        flat_idx, flat_val, seg_ptr = gather_chunk(indptr, indices, data, coords)
+        dots = _segment_dots(flat_idx, flat_val, seg_ptr, wbar)
+        deltas = (lam * y[coords] - dots - nlam * alpha[coords]) * inv_denom[coords]
+        alpha[coords] += deltas
+        contrib = flat_val * np.repeat(deltas, np.diff(seg_ptr))
+        lost += apply_chunk_updates(
+            wbar, flat_idx, contrib, write_mode=write_mode, loss_prob=loss_prob, rng=rng
+        )
+    return lost

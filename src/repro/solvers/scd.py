@@ -1,0 +1,118 @@
+"""Sequential stochastic coordinate descent (Algorithm 1).
+
+The baseline all speed-ups in the paper are measured against: a
+single-threaded solver that visits a fresh random permutation of the
+coordinates each epoch and applies the closed-form coordinate update with a
+fully consistent shared vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cpu import XEON_8C, CpuSpec, SequentialCpuTiming
+from ..perf.timing import EpochWorkload
+from ..sparse import CscMatrix, CsrMatrix
+from .base import BoundKernel, ScdSolver
+from .kernels import dual_epoch_sequential, primal_epoch_sequential
+
+__all__ = ["SequentialKernelFactory", "SequentialSCD"]
+
+
+class SequentialKernelFactory:
+    """Binds Algorithm 1's exact epoch kernels with single-thread timing.
+
+    ``timing_workload`` optionally overrides the workload used for *pricing*
+    an epoch: the experiment drivers run scaled-down data but price epochs at
+    the paper-scale dataset dimensions so the reproduced time axes keep the
+    original compute/overhead proportions (see DESIGN.md).
+    """
+
+    def __init__(
+        self,
+        spec: CpuSpec = XEON_8C,
+        *,
+        dtype=np.float64,
+        timing_workload: EpochWorkload | None = None,
+    ) -> None:
+        self.spec = spec
+        self.dtype = np.dtype(dtype)
+        self.timing_workload = timing_workload
+        self.name = "SCD(1 thread)"
+
+    def _priced(self, workload: EpochWorkload) -> EpochWorkload:
+        return self.timing_workload or workload
+
+    def bind_primal(
+        self, csc: CscMatrix, y: np.ndarray, n_global: int, lam: float
+    ) -> BoundKernel:
+        csc = csc if csc.dtype == self.dtype else csc.astype(self.dtype)
+        y = y.astype(self.dtype, copy=False)
+        indptr, indices, data = csc.indptr, csc.indices, csc.data
+        y_dots = csc.rmatvec(y).astype(self.dtype, copy=False)
+        nlam = self.dtype.type(n_global * lam)
+        inv_denom = (1.0 / (csc.col_norms_sq() + n_global * lam)).astype(self.dtype)
+
+        def run_epoch(beta, w, perm, rng):
+            primal_epoch_sequential(
+                indptr, indices, data, y_dots, inv_denom, nlam, beta, w, perm
+            )
+            return 0
+
+        return BoundKernel(
+            run_epoch=run_epoch,
+            workload=self._priced(
+                EpochWorkload(
+                    n_coords=csc.n_major, nnz=csc.nnz, shared_len=csc.shape[0]
+                )
+            ),
+            timing=SequentialCpuTiming(self.spec),
+            n_coords=csc.n_major,
+            shared_len=csc.shape[0],
+            dtype=self.dtype,
+        )
+
+    def bind_dual(
+        self, csr: CsrMatrix, y_local: np.ndarray, n_global: int, lam: float
+    ) -> BoundKernel:
+        csr = csr if csr.dtype == self.dtype else csr.astype(self.dtype)
+        y_local = y_local.astype(self.dtype, copy=False)
+        indptr, indices, data = csr.indptr, csr.indices, csr.data
+        lam_t = self.dtype.type(lam)
+        nlam = self.dtype.type(n_global * lam)
+        inv_denom = (1.0 / (n_global * lam + csr.row_norms_sq())).astype(self.dtype)
+
+        def run_epoch(alpha, wbar, perm, rng):
+            dual_epoch_sequential(
+                indptr, indices, data, y_local, inv_denom, lam_t, nlam, alpha, wbar, perm
+            )
+            return 0
+
+        return BoundKernel(
+            run_epoch=run_epoch,
+            workload=self._priced(
+                EpochWorkload(
+                    n_coords=csr.n_major, nnz=csr.nnz, shared_len=csr.shape[1]
+                )
+            ),
+            timing=SequentialCpuTiming(self.spec),
+            n_coords=csr.n_major,
+            shared_len=csr.shape[1],
+            dtype=self.dtype,
+        )
+
+
+class SequentialSCD(ScdSolver):
+    """User-facing sequential SCD solver (the paper's "SCD (1 thread)")."""
+
+    def __init__(
+        self,
+        formulation: str = "primal",
+        *,
+        spec: CpuSpec = XEON_8C,
+        dtype=np.float64,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            SequentialKernelFactory(spec, dtype=dtype), formulation, seed
+        )

@@ -1,0 +1,29 @@
+"""Sparse matrix substrate: CSC/CSR formats implemented from scratch."""
+
+from .matrix import (
+    CscMatrix,
+    CsrMatrix,
+    from_coo,
+    from_dense_csc,
+    from_dense_csr,
+)
+from .ops import (
+    check_compressed,
+    expand_by_segments,
+    segment_lengths,
+    segment_sums,
+    transpose_compressed,
+)
+
+__all__ = [
+    "CscMatrix",
+    "CsrMatrix",
+    "from_coo",
+    "from_dense_csc",
+    "from_dense_csr",
+    "check_compressed",
+    "expand_by_segments",
+    "segment_lengths",
+    "segment_sums",
+    "transpose_compressed",
+]

@@ -1,0 +1,152 @@
+"""Tests for the aggregation rules, incl. numerical validation of Eq. 7."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    AdaptiveAggregator,
+    AddingAggregator,
+    AggregationStats,
+    AveragingAggregator,
+    make_aggregator,
+)
+from repro.objectives import RidgeProblem
+
+
+def _stats(formulation="primal", **kw):
+    base = dict(
+        formulation=formulation,
+        n=100,
+        lam=0.01,
+        n_workers=4,
+        resid_dot_dshared=1.0,
+        dshared_norm_sq=2.0,
+        model_dot_dmodel=0.5,
+        dmodel_norm_sq=1.0,
+        dmodel_dot_y=0.3,
+    )
+    base.update(kw)
+    return AggregationStats(**base)
+
+
+class TestFixedRules:
+    def test_averaging(self):
+        assert AveragingAggregator().gamma(_stats(n_workers=8)) == pytest.approx(1 / 8)
+
+    def test_adding(self):
+        assert AddingAggregator().gamma(_stats()) == 1.0
+
+    def test_make_aggregator_by_name(self):
+        assert isinstance(make_aggregator("averaging"), AveragingAggregator)
+        assert isinstance(make_aggregator("adding"), AddingAggregator)
+        assert isinstance(make_aggregator("adaptive"), AdaptiveAggregator)
+
+    def test_make_aggregator_passthrough(self):
+        agg = AdaptiveAggregator()
+        assert make_aggregator(agg) is agg
+
+    def test_make_aggregator_unknown(self):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            make_aggregator("median")
+
+    def test_extra_scalars_declared(self):
+        assert AdaptiveAggregator().n_extra_scalars == 3
+        assert AveragingAggregator().n_extra_scalars == 0
+
+
+class TestAdaptiveGamma:
+    def test_zero_update_falls_back_to_averaging(self):
+        stats = _stats(dshared_norm_sq=0.0, dmodel_norm_sq=0.0)
+        assert AdaptiveAggregator().gamma(stats) == pytest.approx(0.25)
+
+    def test_unknown_formulation(self):
+        with pytest.raises(ValueError, match="formulation"):
+            AdaptiveAggregator().gamma(_stats(formulation="semi"))
+
+    def test_primal_gamma_minimizes_objective(self, ridge_small):
+        """gamma* from Eq. 7 must be the exact 1-D minimizer of
+        P(beta + gamma dbeta) — verified against numerical minimization."""
+        p = ridge_small
+        rng = np.random.default_rng(0)
+        beta = rng.standard_normal(p.m) * 0.2
+        dbeta = rng.standard_normal(p.m) * 0.1
+        dense = p.dataset.csr.to_dense()
+        w = dense @ beta
+        dw = dense @ dbeta
+        stats = AggregationStats(
+            formulation="primal",
+            n=p.n,
+            lam=p.lam,
+            n_workers=4,
+            resid_dot_dshared=float((w - p.y) @ dw),
+            dshared_norm_sq=float(dw @ dw),
+            model_dot_dmodel=float(beta @ dbeta),
+            dmodel_norm_sq=float(dbeta @ dbeta),
+        )
+        gamma = AdaptiveAggregator().gamma(stats)
+        f0 = p.primal_objective(beta + gamma * dbeta)
+        for g in np.linspace(gamma - 0.5, gamma + 0.5, 21):
+            assert p.primal_objective(beta + g * dbeta) >= f0 - 1e-12
+
+    def test_dual_gamma_maximizes_objective(self, ridge_small):
+        """The dual gamma* must exactly maximize D(alpha + gamma dalpha)."""
+        p = ridge_small
+        rng = np.random.default_rng(1)
+        alpha = rng.standard_normal(p.n) * 0.05
+        dalpha = rng.standard_normal(p.n) * 0.02
+        dense = p.dataset.csr.to_dense()
+        wbar = dense.T @ alpha
+        dwbar = dense.T @ dalpha
+        stats = AggregationStats(
+            formulation="dual",
+            n=p.n,
+            lam=p.lam,
+            n_workers=4,
+            resid_dot_dshared=float(wbar @ dwbar),
+            dshared_norm_sq=float(dwbar @ dwbar),
+            model_dot_dmodel=float(alpha @ dalpha),
+            dmodel_norm_sq=float(dalpha @ dalpha),
+            dmodel_dot_y=float(dalpha @ p.y),
+        )
+        gamma = AdaptiveAggregator().gamma(stats)
+        d0 = p.dual_objective(alpha + gamma * dalpha)
+        for g in np.linspace(gamma - 0.5, gamma + 0.5, 21):
+            assert p.dual_objective(alpha + g * dalpha) <= d0 + 1e-12
+
+    def test_primal_gamma_closed_form_vs_grid(self, ridge_sparse):
+        """Cross-check gamma* against a fine golden-section-style scan."""
+        p = ridge_sparse
+        rng = np.random.default_rng(2)
+        beta = rng.standard_normal(p.m) * 0.1
+        dbeta = rng.standard_normal(p.m) * 0.05
+        csc = p.dataset.csc
+        w, dw = csc.matvec(beta), csc.matvec(dbeta)
+        stats = AggregationStats(
+            formulation="primal",
+            n=p.n,
+            lam=p.lam,
+            n_workers=2,
+            resid_dot_dshared=float((w - p.y) @ dw),
+            dshared_norm_sq=float(dw @ dw),
+            model_dot_dmodel=float(beta @ dbeta),
+            dmodel_norm_sq=float(dbeta @ dbeta),
+        )
+        gamma = AdaptiveAggregator().gamma(stats)
+        grid = np.linspace(gamma - 1, gamma + 1, 2001)
+        vals = [p.primal_objective(beta + g * dbeta) for g in grid]
+        assert abs(grid[int(np.argmin(vals))] - gamma) < 2e-3
+
+    def test_distributed_scalar_decomposition(self, ridge_small):
+        """The sum_k identities behind Algorithm 4's communication scheme:
+        with disjoint per-worker coordinate ownership,
+        <beta, dbeta> = sum_k <beta_k, dbeta_k> and
+        ||dbeta||^2 = sum_k ||dbeta_k||^2."""
+        rng = np.random.default_rng(3)
+        m = ridge_small.m
+        beta = rng.standard_normal(m)
+        dbeta = rng.standard_normal(m)
+        parts = np.array_split(rng.permutation(m), 3)
+        dot = sum(float(beta[p] @ dbeta[p]) for p in parts)
+        norm = sum(float(dbeta[p] @ dbeta[p]) for p in parts)
+        assert dot == pytest.approx(float(beta @ dbeta))
+        assert norm == pytest.approx(float(dbeta @ dbeta))

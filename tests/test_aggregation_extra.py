@@ -1,0 +1,159 @@
+"""Tests for the extension aggregation rules (sigma' scaling, line search)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    AdaptiveAggregator,
+    AggregationStats,
+    LineSearchAggregator,
+    ScaledAggregator,
+    make_aggregator,
+)
+from repro.objectives import RidgeProblem
+
+
+def _random_stats(problem: RidgeProblem, formulation: str, seed: int):
+    rng = np.random.default_rng(seed)
+    dense = problem.dataset.csr.to_dense()
+    if formulation == "primal":
+        beta = rng.standard_normal(problem.m) * 0.2
+        dbeta = rng.standard_normal(problem.m) * 0.1
+        w, dw = dense @ beta, dense @ dbeta
+        return AggregationStats(
+            formulation="primal",
+            n=problem.n,
+            lam=problem.lam,
+            n_workers=4,
+            resid_dot_dshared=float((w - problem.y) @ dw),
+            dshared_norm_sq=float(dw @ dw),
+            model_dot_dmodel=float(beta @ dbeta),
+            dmodel_norm_sq=float(dbeta @ dbeta),
+        )
+    alpha = rng.standard_normal(problem.n) * 0.05
+    dalpha = rng.standard_normal(problem.n) * 0.02
+    wbar, dwbar = dense.T @ alpha, dense.T @ dalpha
+    return AggregationStats(
+        formulation="dual",
+        n=problem.n,
+        lam=problem.lam,
+        n_workers=4,
+        resid_dot_dshared=float(wbar @ dwbar),
+        dshared_norm_sq=float(dwbar @ dwbar),
+        model_dot_dmodel=float(alpha @ dalpha),
+        dmodel_norm_sq=float(dalpha @ dalpha),
+        dmodel_dot_y=float(dalpha @ problem.y),
+    )
+
+
+class TestScaledAggregator:
+    def test_endpoints(self):
+        stats = _make_trivial_stats()
+        assert ScaledAggregator(1.0).gamma(stats) == pytest.approx(1 / 4)
+        assert ScaledAggregator(4.0).gamma(stats) == pytest.approx(1.0)
+
+    def test_name_carries_sigma(self):
+        assert "2" in ScaledAggregator(2.0).name
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sigma_prime"):
+            ScaledAggregator(0.0)
+
+
+def _make_trivial_stats():
+    return AggregationStats(
+        formulation="primal",
+        n=10,
+        lam=0.1,
+        n_workers=4,
+        resid_dot_dshared=1.0,
+        dshared_norm_sq=1.0,
+        model_dot_dmodel=0.0,
+        dmodel_norm_sq=1.0,
+    )
+
+
+class TestLineSearchAggregator:
+    @pytest.mark.parametrize("formulation", ["primal", "dual"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_adaptive_closed_form(self, ridge_small, formulation, seed):
+        """For ridge, numerical line search must land on Eq. 7's gamma*
+        (whenever it lies inside the search bracket)."""
+        stats = _random_stats(ridge_small, formulation, seed)
+        exact = AdaptiveAggregator().gamma(stats)
+        searched = LineSearchAggregator(gamma_max=8.0).gamma(stats)
+        if 0.0 <= exact <= 8.0:
+            assert searched == pytest.approx(exact, abs=1e-6)
+
+    def test_clamps_to_bracket(self):
+        # construct stats whose optimum is negative: search returns ~0
+        stats = AggregationStats(
+            formulation="primal",
+            n=10,
+            lam=0.1,
+            n_workers=2,
+            resid_dot_dshared=5.0,  # positive -> gamma* < 0
+            dshared_norm_sq=1.0,
+            model_dot_dmodel=0.0,
+            dmodel_norm_sq=0.0,
+        )
+        assert LineSearchAggregator().gamma(stats) == pytest.approx(0.0, abs=1e-6)
+
+    def test_zero_update_fallback(self):
+        stats = AggregationStats(
+            formulation="dual",
+            n=10,
+            lam=0.1,
+            n_workers=4,
+            resid_dot_dshared=0.0,
+            dshared_norm_sq=0.0,
+            model_dot_dmodel=0.0,
+            dmodel_norm_sq=0.0,
+        )
+        assert LineSearchAggregator().gamma(stats) == pytest.approx(0.25)
+
+    def test_unknown_formulation(self):
+        agg = LineSearchAggregator()
+        stats = AggregationStats(
+            formulation="mixed",
+            n=10,
+            lam=0.1,
+            n_workers=2,
+            resid_dot_dshared=1.0,
+            dshared_norm_sq=1.0,
+            model_dot_dmodel=0.0,
+            dmodel_norm_sq=1.0,
+        )
+        with pytest.raises(ValueError, match="formulation"):
+            agg.gamma(stats)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="gamma_max"):
+            LineSearchAggregator(gamma_max=0.0)
+
+    def test_registered_by_name(self):
+        assert isinstance(make_aggregator("line-search"), LineSearchAggregator)
+
+
+class TestLineSearchInEngine:
+    def test_line_search_tracks_adaptive_in_training(self, ridge_sparse):
+        from repro.core import DistributedSCD
+        from repro.solvers.scd import SequentialKernelFactory
+
+        results = {}
+        for rule in ("adaptive", "line-search"):
+            eng = DistributedSCD(
+                SequentialKernelFactory(),
+                "dual",
+                n_workers=4,
+                aggregation=rule,
+                seed=3,
+            )
+            results[rule] = eng.solve(ridge_sparse, 10)
+        # identical trajectories up to the line search's tolerance
+        assert np.allclose(
+            results["adaptive"].gammas, results["line-search"].gammas, atol=1e-5
+        )
+        assert results["line-search"].history.final_gap() == pytest.approx(
+            results["adaptive"].history.final_gap(), rel=1e-3, abs=1e-12
+        )

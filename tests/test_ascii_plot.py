@@ -1,0 +1,95 @@
+"""Tests for the terminal figure renderer."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.results import CurveSeries, FigureResult
+
+
+def _fig():
+    fig = FigureResult("figT", "test")
+    fig.add(
+        CurveSeries(
+            "fast", np.arange(10), 10.0 ** (-np.arange(10.0)), "epochs", "gap"
+        )
+    )
+    fig.add(
+        CurveSeries(
+            "slow", np.arange(10), 10.0 ** (-np.arange(10.0) / 3), "epochs", "gap"
+        )
+    )
+    return fig
+
+
+class TestAsciiPlot:
+    def test_contains_title_axes_legend(self):
+        text = ascii_plot(_fig())
+        assert "figT" in text
+        assert "epochs" in text
+        assert "* fast" in text and "o slow" in text
+
+    def test_glyphs_plotted(self):
+        text = ascii_plot(_fig())
+        body = text.split("\n")[1:-3]
+        assert any("*" in line for line in body)
+        assert any("o" in line for line in body)
+
+    def test_log_axis_labels_decrease_down(self):
+        text = ascii_plot(_fig())
+        import re
+
+        labels = [
+            float(m.group(1))
+            for m in re.finditer(r"^\s*(\d\.\de[+-]\d+) \|", text, re.M)
+        ]
+        assert len(labels) >= 3
+        assert all(a > b for a, b in zip(labels, labels[1:]))
+
+    def test_label_filter(self):
+        text = ascii_plot(_fig(), label_filter="fast")
+        assert "fast" in text and "slow" not in text
+
+    def test_empty_filter_handled(self):
+        assert "no series" in ascii_plot(_fig(), label_filter="nothing-matches")
+
+    def test_nonpositive_values_skipped(self):
+        fig = FigureResult("z", "zeros")
+        fig.add(CurveSeries("s", [0, 1, 2], [0.0, 1e-3, -1.0]))
+        text = ascii_plot(fig)
+        assert "s" in text  # plots the one positive point without crashing
+
+    def test_all_nonpositive(self):
+        fig = FigureResult("z", "zeros")
+        fig.add(CurveSeries("s", [0, 1], [0.0, 0.0]))
+        assert "no positive finite values" in ascii_plot(fig)
+
+    def test_logx_mode(self):
+        fig = _fig()
+        fig.series[0].x = 10.0 ** np.arange(10)
+        fig.series[1].x = 10.0 ** np.arange(10)
+        text = ascii_plot(fig, logx=True)
+        assert "figT" in text
+
+    def test_infinite_values_skipped(self):
+        fig = FigureResult("i", "inf")
+        fig.add(CurveSeries("s", [0, 1, 2], [1.0, np.inf, 0.1]))
+        text = ascii_plot(fig)
+        assert "s" in text
+
+
+class TestCliPlot:
+    def test_run_with_plot(self, capsys):
+        assert main(["run", "ext-smart-partition", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "|" in out and "correlation-aware" in out
+
+    def test_run_with_plot_and_filter(self, capsys):
+        assert main(
+            ["run", "ext-smart-partition", "--plot", "--series", "random"]
+        ) == 0
+        out = capsys.readouterr().out
+        legend = [l for l in out.splitlines() if l.startswith("   ")]
+        assert any("random" in l for l in legend)
+        assert not any("correlation-aware" in l for l in legend)

@@ -1,0 +1,162 @@
+"""Tests for the cluster substrate: partitioners, communicator, links."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ETHERNET_10G,
+    ETHERNET_100G,
+    SimCommunicator,
+    balanced_nnz_partition,
+    contiguous_partition,
+    random_partition,
+)
+from repro.perf.link import PCIE3_X16_PAGEABLE, PCIE3_X16_PINNED, Link
+
+
+class TestPartitioners:
+    def _check_cover(self, parts, n):
+        combined = np.concatenate(parts)
+        assert np.array_equal(np.sort(combined), np.arange(n))
+
+    def test_random_partition_covers(self, rng):
+        parts = random_partition(100, 7, rng)
+        self._check_cover(parts, 100)
+
+    def test_random_partition_balanced(self, rng):
+        parts = random_partition(103, 8, rng)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_random_partition_sorted_within_part(self, rng):
+        for p in random_partition(50, 4, rng):
+            assert np.all(np.diff(p) > 0)
+
+    def test_contiguous_partition(self):
+        parts = contiguous_partition(10, 3)
+        self._check_cover(parts, 10)
+        for p in parts:
+            assert np.array_equal(p, np.arange(p[0], p[-1] + 1))
+
+    def test_balanced_nnz_partition_covers(self, rng):
+        lengths = rng.integers(1, 100, size=60)
+        parts = balanced_nnz_partition(lengths, 5)
+        self._check_cover(parts, 60)
+
+    def test_balanced_nnz_partition_balances_load(self, rng):
+        lengths = rng.integers(1, 100, size=200)
+        parts = balanced_nnz_partition(lengths, 4)
+        loads = [lengths[p].sum() for p in parts]
+        # greedy LPT: worst part within ~4/3 of the mean
+        assert max(loads) <= 1.4 * (sum(loads) / 4)
+
+    def test_balanced_beats_contiguous_on_skewed_input(self, rng):
+        lengths = np.concatenate([np.full(10, 1000), np.ones(190)]).astype(int)
+        bal = balanced_nnz_partition(lengths, 4)
+        cont = contiguous_partition(200, 4)
+        bal_max = max(lengths[p].sum() for p in bal)
+        cont_max = max(lengths[p].sum() for p in cont)
+        assert bal_max < cont_max
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="n_parts"):
+            random_partition(10, 0, rng)
+        with pytest.raises(ValueError, match="non-empty"):
+            random_partition(3, 5, rng)
+
+
+class TestSimCommunicator:
+    def test_reduce_sum(self):
+        comm = SimCommunicator(3)
+        arrays = [np.full(4, float(i)) for i in range(3)]
+        out = comm.reduce_sum(arrays)
+        assert np.allclose(out, 3.0)
+
+    def test_reduce_sum_wrong_count(self):
+        with pytest.raises(ValueError, match="contributions"):
+            SimCommunicator(3).reduce_sum([np.ones(2)])
+
+    def test_reduce_sum_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            SimCommunicator(2).reduce_sum([np.ones(2), np.ones(3)])
+
+    def test_reduce_does_not_mutate_inputs(self):
+        comm = SimCommunicator(2)
+        a, b = np.ones(3), np.ones(3)
+        comm.reduce_sum([a, b])
+        assert np.allclose(a, 1.0)
+
+    def test_scalar_sum(self):
+        assert SimCommunicator(4).reduce_scalar_sum([1, 2, 3, 4]) == 10.0
+
+    def test_bcast_copies_independent(self):
+        comm = SimCommunicator(3)
+        src = np.arange(4.0)
+        copies = comm.bcast(src)
+        copies[0][:] = -1
+        assert np.allclose(src, np.arange(4.0))
+        assert np.allclose(copies[1], src)
+
+    def test_single_worker_comm_is_free(self):
+        comm = SimCommunicator(1)
+        assert comm.reduce_seconds(10**9) == 0.0
+        assert comm.bcast_seconds(10**9) == 0.0
+        assert comm.scalars_seconds(10) == 0.0
+
+    def test_log2_rounds(self):
+        nbytes = 10**6
+        t2 = SimCommunicator(2).reduce_seconds(nbytes)
+        t4 = SimCommunicator(4).reduce_seconds(nbytes)
+        t8 = SimCommunicator(8).reduce_seconds(nbytes)
+        assert t4 == pytest.approx(2 * t2)
+        assert t8 == pytest.approx(3 * t2)
+
+    def test_faster_link_is_faster(self):
+        nbytes = 10**8
+        slow = SimCommunicator(4, ETHERNET_10G).allreduce_seconds(nbytes)
+        fast = SimCommunicator(4, ETHERNET_100G).allreduce_seconds(nbytes)
+        assert fast < slow
+
+    def test_scalars_cheap_relative_to_vector(self):
+        # "the additional communication ... amounts to the transfer of a few
+        # scalars over the network interface per epoch" — latency-bound, an
+        # order of magnitude below the shared-vector reduce
+        comm = SimCommunicator(8)
+        assert comm.scalars_seconds(3) < comm.reduce_seconds(4 * 10**6) / 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            SimCommunicator(0)
+        with pytest.raises(ValueError, match="n_scalars"):
+            SimCommunicator(2).scalars_seconds(-1)
+
+
+class TestLinks:
+    def test_transfer_seconds_affine(self):
+        t0 = ETHERNET_10G.transfer_seconds(0)
+        t1 = ETHERNET_10G.transfer_seconds(1.25e9 * 0.85)
+        assert t0 == pytest.approx(ETHERNET_10G.latency_s)
+        assert t1 == pytest.approx(ETHERNET_10G.latency_s + 1.0)
+
+    def test_pinned_faster_than_pageable(self):
+        n = 10**8
+        assert PCIE3_X16_PINNED.transfer_seconds(n) < PCIE3_X16_PAGEABLE.transfer_seconds(n)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            ETHERNET_10G.transfer_seconds(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            Link("x", 0.0, 0.0)
+        with pytest.raises(ValueError, match="latency"):
+            Link("x", 1.0, -1.0)
+        with pytest.raises(ValueError, match="efficiency"):
+            Link("x", 1.0, 0.0, efficiency=0.0)
+
+    def test_ethernet_10g_effective_bandwidth(self):
+        # ~1 GB/s effective: 1 GB in ~1 s
+        t = ETHERNET_10G.transfer_seconds(10**9)
+        assert 0.7 < t < 1.3

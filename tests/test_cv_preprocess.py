@@ -1,0 +1,132 @@
+"""Tests for cross-validation utilities and preprocessing transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    binarize_labels,
+    clip_values,
+    make_criteo_like,
+    make_dense_gaussian,
+    make_sparse_regression,
+    normalize_rows,
+    scale_columns,
+)
+from repro.metrics import CvResult, cross_validate_path, kfold_indices
+from repro.solvers import lambda_grid
+
+
+class TestKfoldIndices:
+    def test_folds_partition_everything(self, rng):
+        folds = kfold_indices(23, 4, rng)
+        assert len(folds) == 4
+        all_valid = np.sort(np.concatenate([v for _, v in folds]))
+        assert np.array_equal(all_valid, np.arange(23))
+
+    def test_train_valid_disjoint_and_complete(self, rng):
+        for train, valid in kfold_indices(30, 5, rng):
+            assert np.intersect1d(train, valid).size == 0
+            assert train.size + valid.size == 30
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="k must be"):
+            kfold_indices(10, 1, rng)
+        with pytest.raises(ValueError, match="folds"):
+            kfold_indices(3, 5, rng)
+
+
+class TestCrossValidatePath:
+    @pytest.fixture(scope="class")
+    def cv_result(self):
+        ds = make_dense_gaussian(120, 20, noise=0.1, seed=4)
+        grid = lambda_grid(ds, 0.9, n_lambdas=6)
+        return cross_validate_path(ds, grid, l1_ratio=0.9, k=3, n_epochs=60)
+
+    def test_shapes(self, cv_result):
+        assert cv_result.mean_mse.shape == (6,)
+        assert cv_result.std_mse.shape == (6,)
+
+    def test_best_lambda_minimizes_mean_mse(self, cv_result):
+        idx = list(cv_result.lambdas).index(cv_result.best_lambda)
+        assert cv_result.mean_mse[idx] == cv_result.mean_mse.min()
+
+    def test_one_se_at_least_best(self, cv_result):
+        """1-SE picks the largest (most regularized) lambda within 1 SE."""
+        assert cv_result.one_se_lambda >= cv_result.best_lambda
+
+    def test_low_noise_prefers_small_lambda(self, cv_result):
+        # on nearly-noiseless data, CV must drive lambda towards the small end
+        assert cv_result.best_lambda <= cv_result.lambdas[2]
+
+    def test_summary_marks_choices(self, cv_result):
+        text = cv_result.summary()
+        assert "best" in text and "1-SE" in text
+
+
+class TestNormalizeRows:
+    def test_unit_norms(self):
+        ds = make_sparse_regression(50, 30, rng=np.random.default_rng(0))
+        # perturb away from normalization first
+        ds.csr.data *= 3.7
+        out = normalize_rows(ds)
+        norms = out.csr.row_norms_sq()
+        nonzero = out.csr.row_nnz() > 0
+        assert np.allclose(norms[nonzero], 1.0, atol=1e-10)
+
+    def test_zero_rows_untouched(self):
+        from repro.data import Dataset
+        from repro.sparse import from_dense_csr
+
+        dense = np.zeros((3, 4))
+        dense[0, 1] = 2.0
+        ds = Dataset(matrix=from_dense_csr(dense), y=np.zeros(3))
+        out = normalize_rows(ds)
+        assert out.csr.row_norms_sq()[0] == pytest.approx(1.0)
+        assert out.nnz == 1
+
+    def test_meta_flag(self):
+        ds = make_sparse_regression(10, 8, rng=np.random.default_rng(1))
+        assert normalize_rows(ds).meta["normalized_rows"] is True
+
+
+class TestScaleColumns:
+    def test_unit_column_norms(self):
+        ds = make_sparse_regression(60, 25, rng=np.random.default_rng(2))
+        out = scale_columns(ds)
+        norms = out.csc.col_norms_sq()
+        populated = out.csc.col_nnz() > 0
+        assert np.allclose(norms[populated], 1.0, atol=1e-10)
+
+    def test_pattern_preserved(self):
+        ds = make_sparse_regression(40, 20, rng=np.random.default_rng(3))
+        out = scale_columns(ds)
+        assert out.nnz == ds.nnz
+        assert np.array_equal(out.csc.indices, ds.csc.indices)
+
+
+class TestClipAndBinarize:
+    def test_clip(self):
+        ds = make_dense_gaussian(20, 10, seed=1)
+        out = clip_values(ds, low=-0.5, high=0.5)
+        assert out.csr.data.min() >= -0.5
+        assert out.csr.data.max() <= 0.5
+
+    def test_clip_validation(self):
+        ds = make_dense_gaussian(5, 3, seed=0)
+        with pytest.raises(ValueError, match="low"):
+            clip_values(ds, low=1.0, high=0.0)
+
+    def test_binarize_criteo_clicks(self):
+        ds = make_criteo_like(200, n_groups=4, group_cardinality=20, seed=1)
+        out = binarize_labels(ds)
+        assert set(np.unique(out.y)) <= {-1.0, 1.0}
+        # prevalence preserved: clicks (1.0) -> +1
+        assert (out.y == 1.0).mean() == pytest.approx((ds.y == 1.0).mean())
+
+    def test_binarized_feeds_svm(self):
+        from repro.objectives import SvmProblem
+
+        ds = binarize_labels(
+            make_criteo_like(150, n_groups=4, group_cardinality=15, seed=2)
+        )
+        SvmProblem(ds, lam=0.1)  # constructor validates labels

@@ -1,0 +1,106 @@
+"""Tests for the Dataset container and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, train_test_split
+from repro.sparse import from_dense_csc, from_dense_csr
+
+
+def _dataset(fmt="csr"):
+    rng = np.random.default_rng(0)
+    dense = (rng.random((20, 8)) < 0.5) * rng.standard_normal((20, 8))
+    mat = from_dense_csr(dense) if fmt == "csr" else from_dense_csc(dense)
+    return Dataset(matrix=mat, y=rng.standard_normal(20), name="t"), dense
+
+
+class TestDataset:
+    def test_geometry(self):
+        ds, dense = _dataset()
+        assert ds.n_examples == 20
+        assert ds.n_features == 8
+        assert ds.nnz == int((dense != 0).sum())
+
+    def test_lazy_conversion_from_csr(self):
+        ds, dense = _dataset("csr")
+        assert np.allclose(ds.csc.to_dense(), dense)
+        # cached: same object on second access
+        assert ds.csc is ds.csc
+
+    def test_lazy_conversion_from_csc(self):
+        ds, dense = _dataset("csc")
+        assert np.allclose(ds.csr.to_dense(), dense)
+        assert ds.csr is ds.csr
+
+    def test_label_length_checked(self):
+        ds, _ = _dataset()
+        with pytest.raises(ValueError, match="labels"):
+            Dataset(matrix=ds.matrix, y=np.ones(5))
+
+    def test_label_ndim_checked(self):
+        ds, _ = _dataset()
+        with pytest.raises(ValueError, match="1-D"):
+            Dataset(matrix=ds.matrix, y=np.ones((20, 1)))
+
+    def test_matrix_type_checked(self):
+        with pytest.raises(TypeError):
+            Dataset(matrix=np.zeros((3, 3)), y=np.zeros(3))
+
+    def test_astype(self):
+        ds, _ = _dataset()
+        ds32 = ds.astype(np.float32)
+        assert ds32.y.dtype == np.float32
+        assert ds32.matrix.dtype == np.float32
+        assert ds32.name == ds.name
+
+    def test_describe_mentions_name_and_dims(self):
+        ds, _ = _dataset()
+        text = ds.describe()
+        assert "t:" in text and "20 examples" in text and "8 features" in text
+
+    def test_nbytes(self):
+        ds, _ = _dataset()
+        assert ds.nbytes == ds.matrix.nbytes + ds.y.nbytes
+
+
+class TestTrainTestSplit:
+    def test_partition_covers_everything(self):
+        ds, dense = _dataset()
+        rng = np.random.default_rng(1)
+        train, test = train_test_split(ds, 0.25, rng)
+        assert train.n_examples + test.n_examples == 20
+        assert test.n_examples == 5
+        assert train.n_features == test.n_features == 8
+
+    def test_rows_preserved(self):
+        ds, dense = _dataset()
+        rng = np.random.default_rng(2)
+        train, test = train_test_split(ds, 0.3, rng)
+        # every row in the union must exist in the original (by content)
+        combined = np.vstack([train.csr.to_dense(), test.csr.to_dense()])
+        assert sorted(map(tuple, combined.tolist())) == sorted(
+            map(tuple, dense.tolist())
+        )
+
+    def test_labels_follow_rows(self):
+        ds, dense = _dataset()
+        rng = np.random.default_rng(3)
+        train, _ = train_test_split(ds, 0.25, rng)
+        # match each train row to its source row and check the label
+        for i in range(train.n_examples):
+            row = train.csr.to_dense()[i]
+            matches = np.nonzero((dense == row).all(axis=1))[0]
+            assert any(np.isclose(ds.y[j], train.y[i]) for j in matches)
+
+    def test_bad_fraction(self):
+        ds, _ = _dataset()
+        rng = np.random.default_rng(0)
+        for frac in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError, match="test_fraction"):
+                train_test_split(ds, frac, rng)
+
+    def test_deterministic_given_rng_seed(self):
+        ds, _ = _dataset()
+        t1, _ = train_test_split(ds, 0.25, np.random.default_rng(9))
+        t2, _ = train_test_split(ds, 0.25, np.random.default_rng(9))
+        assert np.allclose(t1.y, t2.y)

@@ -1,0 +1,144 @@
+"""Integration tests for the distributed SCD engine (Algorithms 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedSCD, WEBSPAM_PAPER
+from repro.objectives import solve_exact
+from repro.solvers import SequentialSCD
+from repro.solvers.scd import SequentialKernelFactory
+
+
+def _engine(formulation, k, agg="averaging", **kw):
+    return DistributedSCD(
+        SequentialKernelFactory(),
+        formulation,
+        n_workers=k,
+        aggregation=agg,
+        seed=7,
+        **kw,
+    )
+
+
+class TestSingleWorkerEquivalence:
+    @pytest.mark.parametrize("formulation", ["primal", "dual"])
+    def test_k1_converges_like_single_node(self, ridge_sparse, formulation):
+        dist = _engine(formulation, 1).solve(ridge_sparse, 8)
+        single = SequentialSCD(formulation, seed=0).solve(ridge_sparse, 8)
+        # identical algorithm, different permutation streams: same order of
+        # magnitude of convergence
+        assert dist.history.final_gap() < single.history.final_gap() * 100 + 1e-12
+
+    def test_k1_averaging_gamma_is_one(self, ridge_sparse):
+        res = _engine("primal", 1).solve(ridge_sparse, 3)
+        assert all(g == 1.0 for g in res.gammas)
+
+    def test_k1_no_network_time(self, ridge_sparse):
+        res = _engine("dual", 1).solve(ridge_sparse, 3)
+        assert res.ledger.get("comm_network") == 0.0
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("formulation", ["primal", "dual"])
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_converges(self, ridge_sparse, formulation, k):
+        budget = 40 * k
+        res = _engine(formulation, k).solve(ridge_sparse, budget)
+        assert res.history.final_gap() < 2e-6
+
+    def test_converges_to_exact_solution(self, ridge_small):
+        res = _engine("primal", 2).solve(ridge_small, 200)
+        sol = solve_exact(ridge_small)
+        assert np.allclose(res.weights, sol.beta, atol=1e-5)
+
+    def test_per_epoch_convergence_slows_with_k(self, ridge_sparse):
+        """Fig. 3's shape: more workers, slower per-epoch convergence."""
+        gaps = {}
+        for k in (1, 2, 8):
+            res = _engine("dual", k).solve(ridge_sparse, 6)
+            gaps[k] = res.history.final_gap()
+        assert gaps[1] <= gaps[2] <= gaps[8]
+
+    def test_adaptive_beats_averaging(self, ridge_sparse):
+        """Fig. 4's shape at K=8."""
+        avg = _engine("dual", 8, "averaging").solve(ridge_sparse, 24)
+        ada = _engine("dual", 8, "adaptive").solve(ridge_sparse, 24)
+        assert ada.history.final_gap() < avg.history.final_gap()
+
+    def test_adaptive_gamma_above_averaging_value(self, ridge_sparse):
+        """Fig. 5's shape: gamma settles well above 1/K."""
+        res = _engine("dual", 8, "adaptive").solve(ridge_sparse, 20)
+        assert res.gammas[-1] > 1.5 / 8
+
+
+class TestMechanics:
+    def test_partitions_disjoint_and_cover(self, ridge_sparse):
+        res = _engine("primal", 4).solve(ridge_sparse, 1)
+        combined = np.sort(np.concatenate(res.partitions))
+        assert np.array_equal(combined, np.arange(ridge_sparse.m))
+
+    def test_dual_partitions_over_examples(self, ridge_sparse):
+        res = _engine("dual", 4).solve(ridge_sparse, 1)
+        combined = np.sort(np.concatenate(res.partitions))
+        assert np.array_equal(combined, np.arange(ridge_sparse.n))
+
+    def test_gammas_recorded_per_epoch(self, ridge_sparse):
+        res = _engine("primal", 2, "adaptive").solve(ridge_sparse, 7)
+        assert len(res.gammas) == 7
+
+    def test_history_records_gamma_extras(self, ridge_sparse):
+        res = _engine("primal", 2, "adaptive").solve(ridge_sparse, 4)
+        assert not np.isnan(res.history.extras_series("gamma")[1:]).any()
+
+    def test_deterministic(self, ridge_sparse):
+        a = _engine("dual", 3).solve(ridge_sparse, 5)
+        b = _engine("dual", 3).solve(ridge_sparse, 5)
+        assert np.allclose(a.weights, b.weights)
+        assert a.gammas == b.gammas
+
+    def test_target_gap_early_stop(self, ridge_sparse):
+        res = _engine("dual", 2).solve(
+            ridge_sparse, 500, monitor_every=1, target_gap=1e-4
+        )
+        assert res.history.records[-1].epoch < 500
+
+    def test_ledger_components(self, ridge_sparse):
+        res = _engine("dual", 4, paper_scale=WEBSPAM_PAPER).solve(ridge_sparse, 3)
+        assert res.ledger.get("compute_host") > 0
+        assert res.ledger.get("comm_network") > 0
+        assert res.ledger.get("comm_pcie") == 0.0  # no GPU workers
+
+    def test_paper_scale_pricing(self, ridge_sparse):
+        cheap = _engine("dual", 2).solve(ridge_sparse, 2)
+        paper = _engine("dual", 2, paper_scale=WEBSPAM_PAPER).solve(ridge_sparse, 2)
+        assert paper.history.sim_times[-1] > 100 * cheap.history.sim_times[-1]
+
+    def test_adaptive_scalars_priced(self, ridge_sparse):
+        avg = _engine("dual", 4, "averaging", paper_scale=WEBSPAM_PAPER).solve(
+            ridge_sparse, 2
+        )
+        ada = _engine("dual", 4, "adaptive", paper_scale=WEBSPAM_PAPER).solve(
+            ridge_sparse, 2
+        )
+        assert ada.ledger.get("comm_network") > avg.ledger.get("comm_network")
+
+    def test_validation(self, ridge_sparse):
+        with pytest.raises(ValueError, match="formulation"):
+            DistributedSCD(SequentialKernelFactory(), "both")
+        with pytest.raises(ValueError, match="n_workers"):
+            DistributedSCD(SequentialKernelFactory(), "primal", n_workers=0)
+        with pytest.raises(ValueError, match="n_epochs"):
+            _engine("primal", 2).solve(ridge_sparse, -1)
+
+    def test_more_workers_less_compute_time_per_epoch(self, ridge_sparse):
+        t = {}
+        for k in (1, 4):
+            res = _engine("dual", k, paper_scale=WEBSPAM_PAPER).solve(
+                ridge_sparse, 2
+            )
+            t[k] = res.ledger.get("compute_host")
+        assert t[4] < 0.5 * t[1]
+
+    def test_epoch_updates_counted(self, ridge_sparse):
+        res = _engine("dual", 4).solve(ridge_sparse, 3)
+        assert res.history.records[-1].updates == 3 * ridge_sparse.n

@@ -1,0 +1,136 @@
+"""Integration tests for distributed TPA-SCD across simulated GPUs (Sec. V)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedSCD, WEBSPAM_PAPER
+from repro.core.tpa_scd import TpaScdKernelFactory
+from repro.gpu import GTX_TITAN_X, QUADRO_M4000, GpuDevice, GpuOutOfMemoryError
+from repro.perf.link import ETHERNET_10G, PCIE3_X16_PINNED
+from repro.solvers.scd import SequentialKernelFactory
+
+
+def _gpu_engine(k, spec=QUADRO_M4000, wave=1, **kw):
+    return DistributedSCD(
+        lambda rank: TpaScdKernelFactory(GpuDevice(spec), wave_size=wave),
+        "dual",
+        n_workers=k,
+        aggregation="averaging",
+        network=ETHERNET_10G,
+        pcie=PCIE3_X16_PINNED,
+        seed=7,
+        **kw,
+    )
+
+
+class TestDistributedTpaScd:
+    def test_converges(self, ridge_sparse):
+        res = _gpu_engine(2).solve(ridge_sparse, 40)
+        assert res.history.final_gap() < 1e-5
+
+    def test_matches_cpu_distributed_per_epoch(self, ridge_sparse):
+        """Same algorithm, same partitions, same seed: the GPU cluster's
+        per-epoch trajectory tracks the CPU cluster's (fp32 tolerance)."""
+        gpu = _gpu_engine(4).solve(ridge_sparse, 10)
+        cpu = DistributedSCD(
+            SequentialKernelFactory(),
+            "dual",
+            n_workers=4,
+            aggregation="averaging",
+            seed=7,
+        ).solve(ridge_sparse, 10)
+        assert gpu.history.final_gap() == pytest.approx(
+            cpu.history.final_gap(), rel=0.5, abs=1e-7
+        )
+
+    def test_pcie_and_host_time_booked(self, ridge_sparse):
+        res = _gpu_engine(2, paper_scale=WEBSPAM_PAPER).solve(ridge_sparse, 3)
+        assert res.ledger.get("comm_pcie") > 0
+        assert res.ledger.get("compute_host") > 0
+        assert res.ledger.get("compute_gpu") > 0
+        assert res.ledger.get("comm_network") > 0
+
+    def test_gpu_compute_dominates(self, ridge_sparse):
+        """Fig. 9's headline: GPU compute is the majority of epoch time."""
+        res = _gpu_engine(4, paper_scale=WEBSPAM_PAPER).solve(ridge_sparse, 4)
+        bd = res.ledger.breakdown()
+        assert bd["compute_gpu"] > 0.5 * res.ledger.total
+
+    def test_faster_than_cpu_cluster(self, ridge_sparse):
+        """Fig. 8's headline: TPA-SCD an order of magnitude below SCD."""
+        gpu = _gpu_engine(4, paper_scale=WEBSPAM_PAPER).solve(ridge_sparse, 5)
+        cpu = DistributedSCD(
+            SequentialKernelFactory(),
+            "dual",
+            n_workers=4,
+            aggregation="averaging",
+            network=ETHERNET_10G,
+            paper_scale=WEBSPAM_PAPER,
+            seed=7,
+        ).solve(ridge_sparse, 5)
+        assert gpu.history.sim_times[-1] < cpu.history.sim_times[-1] / 5
+
+    def test_titanx_faster_than_m4000(self, ridge_sparse):
+        slow = _gpu_engine(2, QUADRO_M4000, paper_scale=WEBSPAM_PAPER).solve(
+            ridge_sparse, 3
+        )
+        fast = _gpu_engine(2, GTX_TITAN_X, paper_scale=WEBSPAM_PAPER).solve(
+            ridge_sparse, 3
+        )
+        assert fast.history.sim_times[-1] < slow.history.sim_times[-1]
+
+    def test_each_worker_gets_own_device(self, ridge_sparse):
+        devices = []
+
+        def factory(rank):
+            dev = GpuDevice(QUADRO_M4000)
+            devices.append(dev)
+            return TpaScdKernelFactory(dev, wave_size=1)
+
+        eng = DistributedSCD(
+            factory,
+            "dual",
+            n_workers=3,
+            aggregation="averaging",
+            seed=1,
+        )
+        eng.solve(ridge_sparse, 1)
+        assert len(devices) == 3
+        assert all(d.memory.used_bytes > 0 for d in devices)
+
+    def test_oom_partition_gate(self, ridge_sparse):
+        """A 40 GB footprint fails on one Titan X; 10 GB shares fit on 4."""
+
+        def oversized(rank):
+            return TpaScdKernelFactory(
+                GpuDevice(GTX_TITAN_X),
+                simulated_dataset_nbytes=40 * 2**30,
+            )
+
+        eng = DistributedSCD(oversized, "dual", n_workers=1, seed=0)
+        with pytest.raises(GpuOutOfMemoryError):
+            eng.solve(ridge_sparse, 1)
+
+        def quarter(rank):
+            return TpaScdKernelFactory(
+                GpuDevice(GTX_TITAN_X),
+                simulated_dataset_nbytes=10 * 2**30,
+            )
+
+        eng = DistributedSCD(quarter, "dual", n_workers=4, seed=0)
+        res = eng.solve(ridge_sparse, 1)  # must not raise
+        assert len(res.partitions) == 4
+
+    def test_adaptive_aggregation_composes_with_gpu(self, ridge_sparse):
+        eng = DistributedSCD(
+            lambda rank: TpaScdKernelFactory(GpuDevice(GTX_TITAN_X), wave_size=1),
+            "dual",
+            n_workers=4,
+            aggregation="adaptive",
+            network=PCIE3_X16_PINNED,
+            pcie=PCIE3_X16_PINNED,
+            seed=7,
+        )
+        res = eng.solve(ridge_sparse, 60)
+        assert res.history.final_gap() < 1e-5
+        assert res.gammas[-1] > 0.25  # above 1/K

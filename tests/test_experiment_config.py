@@ -1,0 +1,96 @@
+"""Tests for the experiment configuration module."""
+
+import numpy as np
+import pytest
+
+from repro.core.scale import CRITEO_PAPER, WEBSPAM_PAPER
+from repro.experiments.config import (
+    LAMBDA,
+    PAPER_LAMBDA,
+    SCALES,
+    active_scale,
+    async_factory,
+    criteo_problem,
+    epochs,
+    sequential_factory,
+    tpa_factory,
+    webspam_problem,
+)
+from repro.gpu import GTX_TITAN_X
+
+
+class TestScales:
+    def test_both_scales_defined(self):
+        assert set(SCALES) == {"quick", "full"}
+        assert SCALES["full"].webspam_n > SCALES["quick"].webspam_n
+
+    def test_active_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert active_scale().name == "quick"
+
+    def test_active_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert active_scale().name == "full"
+
+    def test_active_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            active_scale()
+
+    def test_epochs_scaling(self):
+        assert epochs(100, SCALES["quick"]) == 50
+        assert epochs(100, SCALES["full"]) == 100
+        assert epochs(1, SCALES["quick"]) >= 2  # floor
+
+
+class TestProblems:
+    def test_webspam_problem_dimensions(self):
+        problem, paper = webspam_problem(SCALES["quick"])
+        assert problem.n == SCALES["quick"].webspam_n
+        assert problem.m == SCALES["quick"].webspam_m
+        assert paper is WEBSPAM_PAPER
+        assert problem.lam == LAMBDA
+
+    def test_criteo_problem_dimensions(self):
+        problem, paper = criteo_problem(SCALES["quick"])
+        assert problem.n == SCALES["quick"].criteo_n
+        assert paper is CRITEO_PAPER
+        # criteo-like values are all ones
+        assert np.all(problem.dataset.csr.data == 1.0)
+
+    def test_lambda_calibration_documented(self):
+        # the reproduction lambda deliberately differs from the paper's
+        assert PAPER_LAMBDA == 1e-3
+        assert LAMBDA != PAPER_LAMBDA
+
+    def test_problems_deterministic(self):
+        a, _ = webspam_problem(SCALES["quick"])
+        b, _ = webspam_problem(SCALES["quick"])
+        assert np.allclose(a.y, b.y)
+
+
+class TestFactories:
+    def test_sequential_factory_priced_at_paper_scale(self):
+        fac = sequential_factory(WEBSPAM_PAPER, "dual")
+        assert fac.timing_workload.nnz == WEBSPAM_PAPER.nnz
+        assert fac.timing_workload.shared_len == WEBSPAM_PAPER.n_features
+
+    def test_async_factory_modes(self):
+        atomic = async_factory(WEBSPAM_PAPER, "dual", write_mode="atomic")
+        wild = async_factory(WEBSPAM_PAPER, "dual", write_mode="wild")
+        assert "A-SCD" in atomic.name
+        assert "Wild" in wild.name
+
+    def test_tpa_factory_scales_wave_with_workers(self):
+        problem, paper = webspam_problem(SCALES["quick"])
+        f1 = tpa_factory(GTX_TITAN_X, paper, "dual", problem, n_workers=1)
+        f4 = tpa_factory(GTX_TITAN_X, paper, "dual", problem, n_workers=4)
+        # per-worker paper workload shrinks with K
+        assert f4.timing_workload.nnz < f1.timing_workload.nnz
+        assert f1.wave_size >= 1 and f4.wave_size >= 1
+
+    def test_tpa_factory_fresh_devices(self):
+        problem, paper = webspam_problem(SCALES["quick"])
+        a = tpa_factory(GTX_TITAN_X, paper, "dual", problem)
+        b = tpa_factory(GTX_TITAN_X, paper, "dual", problem)
+        assert a.device is not b.device

@@ -1,0 +1,73 @@
+"""Tests for the experiment result containers and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.results import CurveSeries, FigureResult, format_float
+
+
+class TestFormatFloat:
+    def test_scientific_for_extremes(self):
+        assert "e" in format_float(1e-8)
+        assert "e" in format_float(1e7)
+
+    def test_plain_for_moderate(self):
+        assert format_float(3.25) == "3.25"
+
+    def test_specials(self):
+        assert format_float(0.0) == "0"
+        assert format_float(float("inf")) == "inf"
+        assert format_float(float("nan")) == "-"
+
+
+class TestCurveSeries:
+    def test_shape_validated(self):
+        with pytest.raises(ValueError, match="shape"):
+            CurveSeries("s", np.arange(3), np.arange(4))
+
+    def test_final(self):
+        s = CurveSeries("s", [0, 1], [5.0, 2.5])
+        assert s.final() == 2.5
+
+    def test_arrays_coerced(self):
+        s = CurveSeries("s", [1, 2], [3, 4])
+        assert s.x.dtype == np.float64
+
+
+class TestFigureResult:
+    def _fig(self):
+        fig = FigureResult("figX", "test figure")
+        fig.add(CurveSeries("a", [0, 1, 2], [1.0, 0.5, 0.1], "epochs", "gap"))
+        fig.add(CurveSeries("b", [0, 1], [2.0, 1.0]))
+        return fig
+
+    def test_get_and_labels(self):
+        fig = self._fig()
+        assert fig.labels() == ["a", "b"]
+        assert fig.get("a").final() == 0.1
+
+    def test_get_missing(self):
+        with pytest.raises(KeyError, match="no series"):
+            self._fig().get("zzz")
+
+    def test_render_contains_everything(self):
+        fig = self._fig()
+        fig.notes.append("hello note")
+        text = fig.render_text()
+        assert "figX" in text
+        assert "-- a" in text and "-- b" in text
+        assert "hello note" in text
+        assert "epochs" in text and "gap" in text
+
+    def test_render_downsamples(self):
+        fig = FigureResult("f", "t")
+        fig.add(CurveSeries("long", np.arange(100), np.arange(100.0)))
+        text = fig.render_text(max_rows=5)
+        # at most 5 sampled points per row line
+        data_line = [l for l in text.splitlines() if l.strip().startswith("x:")][0]
+        assert len(data_line.split()) <= 7
+
+    def test_render_empty_series(self):
+        fig = FigureResult("f", "t")
+        fig.add(CurveSeries("e", [], []))
+        assert "(empty)" in fig.render_text()

@@ -1,0 +1,118 @@
+"""Tests for the simulated GPU memory allocator and device model."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_webspam_like
+from repro.gpu import (
+    GTX_TITAN_X,
+    QUADRO_M4000,
+    TESLA_P100,
+    DeviceMemory,
+    GpuDevice,
+    GpuOutOfMemoryError,
+    GpuSpec,
+)
+
+
+class TestDeviceMemory:
+    def test_alloc_and_accounting(self):
+        mem = DeviceMemory(1000)
+        mem.alloc("a", 300)
+        mem.alloc("b", 500)
+        assert mem.used_bytes == 800
+        assert mem.free_bytes == 200
+
+    def test_oom(self):
+        mem = DeviceMemory(1000)
+        mem.alloc("a", 900)
+        with pytest.raises(GpuOutOfMemoryError, match="free"):
+            mem.alloc("b", 200)
+
+    def test_free_releases(self):
+        mem = DeviceMemory(1000)
+        mem.alloc("a", 900)
+        mem.free("a")
+        mem.alloc("b", 1000)
+        assert mem.used_bytes == 1000
+
+    def test_duplicate_name_rejected(self):
+        mem = DeviceMemory(1000)
+        mem.alloc("a", 1)
+        with pytest.raises(ValueError, match="already"):
+            mem.alloc("a", 1)
+
+    def test_free_unknown_name(self):
+        with pytest.raises(KeyError, match="buffer"):
+            DeviceMemory(10).free("ghost")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DeviceMemory(10).alloc("x", -1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            DeviceMemory(0)
+
+    def test_holds_and_buffers(self):
+        mem = DeviceMemory(100)
+        mem.alloc("x", 10)
+        assert mem.holds("x") and not mem.holds("y")
+        assert mem.buffers() == {"x": 10}
+
+
+class TestGpuSpec:
+    def test_presets_sane(self):
+        for spec in (QUADRO_M4000, GTX_TITAN_X, TESLA_P100):
+            assert spec.n_cores == spec.n_sms * spec.cores_per_sm
+            assert spec.mem_capacity_bytes > 2**30
+            assert spec.resident_blocks >= spec.n_sms
+
+    def test_paper_capacities(self):
+        # "the limit is 8GB" for the M4000; Titan X has 12, P100 up to 16
+        assert QUADRO_M4000.mem_capacity_gb == 8.0
+        assert GTX_TITAN_X.mem_capacity_gb == 12.0
+        assert TESLA_P100.mem_capacity_gb == 16.0
+
+    def test_titanx_faster_memory_than_m4000(self):
+        assert GTX_TITAN_X.mem_bandwidth_gbs > QUADRO_M4000.mem_bandwidth_gbs
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="geometry"):
+            GpuSpec("bad", 0, 1, 1.0, 1.0, 1.0, 0.5, 1)
+        with pytest.raises(ValueError, match="mem_efficiency"):
+            GpuSpec("bad", 1, 1, 1.0, 1.0, 1.0, 1.5, 1)
+
+
+class TestGpuDevice:
+    def test_upload_books_memory_and_returns_time(self):
+        dev = GpuDevice(QUADRO_M4000)
+        ds = make_webspam_like(100, 200, nnz_per_example=10, seed=0)
+        t = dev.upload_dataset(ds)
+        assert t > 0
+        assert dev.memory.used_bytes == ds.nbytes
+
+    def test_upload_simulated_footprint_oom(self):
+        dev = GpuDevice(GTX_TITAN_X)
+        ds = make_webspam_like(50, 100, nnz_per_example=5, seed=0)
+        with pytest.raises(GpuOutOfMemoryError):
+            dev.upload_dataset(ds, simulated_nbytes=40 * 2**30)
+
+    def test_webspam_fits_m4000(self):
+        """The paper: the 7.3 GB webspam sample fits in the 8 GB M4000."""
+        dev = GpuDevice(QUADRO_M4000)
+        ds = make_webspam_like(50, 100, nnz_per_example=5, seed=0)
+        t = dev.upload_dataset(ds, simulated_nbytes=int(7.3 * 2**30))
+        assert t > 0.4  # ~7.3 GB over ~12 GB/s pinned PCIe
+
+    def test_reset(self):
+        dev = GpuDevice(QUADRO_M4000)
+        dev.alloc_vector("v", 1000)
+        dev.reset()
+        assert dev.memory.used_bytes == 0
+
+    def test_vector_transfer_seconds_scales(self):
+        dev = GpuDevice(QUADRO_M4000)
+        small = dev.vector_transfer_seconds(1000)
+        big = dev.vector_transfer_seconds(1_000_000)
+        assert big > small

@@ -1,0 +1,87 @@
+"""Tests for convergence-history bookkeeping and derived metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import ConvergenceHistory, ConvergenceRecord, speedup
+
+
+def _history(gaps, times=None, label="h"):
+    h = ConvergenceHistory(label=label)
+    times = times or list(range(len(gaps)))
+    for e, (g, t) in enumerate(zip(gaps, times)):
+        h.append(
+            ConvergenceRecord(
+                epoch=e, gap=g, objective=0.0, sim_time=float(t),
+                wall_time=0.0, updates=e * 10,
+            )
+        )
+    return h
+
+
+class TestHistory:
+    def test_column_views(self):
+        h = _history([1.0, 0.1, 0.01])
+        assert np.allclose(h.gaps, [1.0, 0.1, 0.01])
+        assert np.allclose(h.epochs, [0, 1, 2])
+        assert np.allclose(h.sim_times, [0, 1, 2])
+        assert len(h) == 3
+
+    def test_final_gap(self):
+        assert _history([1.0, 0.5]).final_gap() == 0.5
+
+    def test_final_gap_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            ConvergenceHistory().final_gap()
+
+    def test_epoch_order_enforced(self):
+        h = _history([1.0, 0.5])
+        with pytest.raises(ValueError, match="epoch order"):
+            h.append(
+                ConvergenceRecord(
+                    epoch=0, gap=0.1, objective=0.0, sim_time=0.0,
+                    wall_time=0.0, updates=0,
+                )
+            )
+
+    def test_time_to_gap(self):
+        h = _history([1.0, 0.1, 0.001], times=[0.0, 2.0, 5.0])
+        assert h.time_to_gap(0.5) == 2.0
+        assert h.time_to_gap(0.001) == 5.0
+        assert math.isinf(h.time_to_gap(1e-9))
+
+    def test_epochs_to_gap(self):
+        h = _history([1.0, 0.1, 0.001])
+        assert h.epochs_to_gap(0.05) == 2.0
+        assert math.isinf(h.epochs_to_gap(0.0))
+
+    def test_extras_series(self):
+        h = ConvergenceHistory()
+        h.append(ConvergenceRecord(0, 1.0, 0.0, 0.0, 0.0, 0, {"gamma": 0.5}))
+        h.append(ConvergenceRecord(1, 0.5, 0.0, 0.0, 0.0, 0))
+        s = h.extras_series("gamma")
+        assert s[0] == 0.5 and math.isnan(s[1])
+
+
+class TestSpeedup:
+    def test_basic_ratio(self):
+        ref = _history([1.0, 0.1, 0.01], times=[0, 10, 20])
+        fast = _history([1.0, 0.1, 0.01], times=[0, 1, 2])
+        assert speedup(ref, fast, 0.05) == pytest.approx(10.0)
+
+    def test_candidate_never_reaches(self):
+        ref = _history([1.0, 0.01], times=[0, 10])
+        stuck = _history([1.0, 0.5], times=[0, 1])
+        assert speedup(ref, stuck, 0.05) == 0.0
+
+    def test_reference_never_reaches(self):
+        ref = _history([1.0, 0.5], times=[0, 10])
+        fast = _history([1.0, 0.01], times=[0, 1])
+        assert math.isinf(speedup(ref, fast, 0.05))
+
+    def test_instant_candidate(self):
+        ref = _history([1.0, 0.01], times=[0, 10])
+        instant = _history([0.01], times=[0])
+        assert math.isinf(speedup(ref, instant, 0.05))

@@ -1,0 +1,72 @@
+"""Tests for the LibSVM-format reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data import load_libsvm, make_sparse_regression, save_libsvm
+
+
+class TestRoundTrip:
+    def test_roundtrip_through_file(self, tmp_path):
+        ds = make_sparse_regression(40, 25, nnz_per_example=6, rng=np.random.default_rng(0))
+        path = tmp_path / "data.svm"
+        save_libsvm(ds, path)
+        loaded = load_libsvm(path, n_features=25)
+        assert loaded.n_examples == ds.n_examples
+        assert loaded.n_features == 25
+        assert np.allclose(loaded.y, ds.y, atol=1e-8)
+        assert np.allclose(loaded.csr.to_dense(), ds.csr.to_dense(), atol=1e-8)
+
+    def test_roundtrip_through_stream(self):
+        ds = make_sparse_regression(10, 8, nnz_per_example=3, rng=np.random.default_rng(1))
+        buf = io.StringIO()
+        save_libsvm(ds, buf)
+        buf.seek(0)
+        loaded = load_libsvm(buf, n_features=8)
+        assert np.allclose(loaded.csr.to_dense(), ds.csr.to_dense(), atol=1e-8)
+
+
+class TestParsing:
+    def test_one_based_indices(self):
+        loaded = load_libsvm(io.StringIO("1.0 1:2.5 3:1.5\n"))
+        dense = loaded.csr.to_dense()
+        assert dense[0, 0] == 2.5
+        assert dense[0, 2] == 1.5
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# header\n\n-1 2:1.0\n"
+        loaded = load_libsvm(io.StringIO(text))
+        assert loaded.n_examples == 1
+        assert loaded.y[0] == -1.0
+
+    def test_n_features_inferred(self):
+        loaded = load_libsvm(io.StringIO("0 5:1.0\n"))
+        assert loaded.n_features == 5
+
+    def test_declared_n_features_enforced(self):
+        with pytest.raises(ValueError, match="declared"):
+            load_libsvm(io.StringIO("0 9:1.0\n"), n_features=4)
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(ValueError, match="1-based"):
+            load_libsvm(io.StringIO("0 0:1.0\n"))
+
+    def test_bad_label(self):
+        with pytest.raises(ValueError, match="bad label"):
+            load_libsvm(io.StringIO("spam 1:1.0\n"))
+
+    def test_bad_feature_token(self):
+        with pytest.raises(ValueError, match="bad feature token"):
+            load_libsvm(io.StringIO("1 nonsense\n"))
+
+    def test_example_with_no_features(self):
+        loaded = load_libsvm(io.StringIO("2.0\n1.0 1:1\n"))
+        assert loaded.n_examples == 2
+        assert loaded.csr.row_nnz()[0] == 0
+
+    def test_name_from_path(self, tmp_path):
+        path = tmp_path / "mydata.svm"
+        path.write_text("1 1:1\n")
+        assert load_libsvm(path).name == "mydata.svm"

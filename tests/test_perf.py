@@ -1,0 +1,125 @@
+"""Tests for the performance-model primitives: ledger, workload, CPU timing."""
+
+import math
+
+import pytest
+
+from repro.cpu import XEON_8C, CpuSpec, SequentialCpuTiming, ThreadedCpuTiming
+from repro.perf import COMPONENTS, TimeLedger
+from repro.perf.timing import EpochWorkload
+
+
+class TestTimeLedger:
+    def test_add_and_total(self):
+        led = TimeLedger()
+        led.add("compute_gpu", 1.5)
+        led.add("compute_gpu", 0.5)
+        led.add("comm_network", 1.0)
+        assert led.total == pytest.approx(3.0)
+        assert led.get("compute_gpu") == pytest.approx(2.0)
+        assert led.get("missing") == 0.0
+
+    def test_breakdown_canonical_order(self):
+        led = TimeLedger()
+        led.add("comm_network", 1.0)
+        keys = list(led.breakdown().keys())
+        assert keys[:4] == list(COMPONENTS)
+
+    def test_breakdown_includes_custom_components(self):
+        led = TimeLedger()
+        led.add("disk_io", 2.0)
+        assert led.breakdown()["disk_io"] == 2.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            TimeLedger().add("x", -1.0)
+
+    def test_merged_with(self):
+        a, b = TimeLedger(), TimeLedger()
+        a.add("compute_gpu", 1.0)
+        b.add("compute_gpu", 2.0)
+        b.add("comm_pcie", 1.0)
+        m = a.merged_with(b)
+        assert m.get("compute_gpu") == 3.0
+        assert m.get("comm_pcie") == 1.0
+        assert a.get("compute_gpu") == 1.0  # originals untouched
+
+    def test_copy_independent(self):
+        a = TimeLedger()
+        a.add("compute_gpu", 1.0)
+        c = a.copy()
+        c.add("compute_gpu", 1.0)
+        assert a.get("compute_gpu") == 1.0
+
+
+class TestEpochWorkload:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpochWorkload(n_coords=-1, nnz=0, shared_len=0)
+
+    def test_frozen(self):
+        wl = EpochWorkload(1, 2, 3)
+        with pytest.raises(AttributeError):
+            wl.nnz = 5
+
+
+class TestCpuTiming:
+    def test_paper_calibration_16_threads(self):
+        """16 threads must land on the paper's 2x (atomic) and 4x (wild)."""
+        assert XEON_8C.thread_speedup(16, "atomic") == pytest.approx(2.0)
+        assert XEON_8C.thread_speedup(16, "wild") == pytest.approx(4.0)
+
+    def test_speedup_monotone_in_threads(self):
+        s = [XEON_8C.thread_speedup(t, "wild") for t in (1, 2, 4, 8, 16)]
+        assert all(b > a for a, b in zip(s, s[1:]))
+
+    def test_thread_limits(self):
+        with pytest.raises(ValueError, match="at most"):
+            XEON_8C.thread_speedup(32, "atomic")
+        with pytest.raises(ValueError, match="n_threads"):
+            XEON_8C.thread_speedup(0, "atomic")
+        with pytest.raises(ValueError, match="mode"):
+            XEON_8C.thread_speedup(4, "sideways")
+
+    def test_sequential_epoch_seconds(self):
+        wl = EpochWorkload(n_coords=1000, nnz=10**8, shared_len=1000)
+        t = SequentialCpuTiming().epoch_seconds(wl)
+        expected = 10**8 / XEON_8C.seq_nnz_per_sec + 1000 * XEON_8C.coord_overhead_s
+        assert t == pytest.approx(expected)
+
+    def test_threaded_divides_by_speedup(self):
+        wl = EpochWorkload(n_coords=1000, nnz=10**8, shared_len=1000)
+        seq = SequentialCpuTiming().epoch_seconds(wl)
+        wild = ThreadedCpuTiming(n_threads=16, mode="wild").epoch_seconds(wl)
+        assert wild == pytest.approx(seq / 4.0)
+
+    def test_llc_penalty_applies_for_huge_shared_vectors(self):
+        """criteo's 300 MB shared vector falls out of LLC; webspam's ~2.7 MB
+        does not — the model must charge only the former."""
+        in_cache = EpochWorkload(n_coords=1000, nnz=10**8, shared_len=680_715)
+        out_of_cache = EpochWorkload(
+            n_coords=1000, nnz=10**8, shared_len=75_000_000
+        )
+        model = SequentialCpuTiming()
+        t_in = model.epoch_seconds(in_cache)
+        t_out = model.epoch_seconds(out_of_cache)
+        assert t_out > 2.0 * t_in
+
+    def test_component_labels(self):
+        assert SequentialCpuTiming().component == "compute_host"
+        assert ThreadedCpuTiming().component == "compute_host"
+
+    def test_custom_spec(self):
+        spec = CpuSpec(
+            name="toy",
+            n_cores=2,
+            threads_per_core=1,
+            clock_ghz=1.0,
+            seq_nnz_per_sec=1e6,
+            coord_overhead_s=0.0,
+            atomic_scaling=1.0,
+            wild_scaling=1.0,
+        )
+        assert spec.thread_speedup(2, "atomic") == pytest.approx(2.0)
+        wl = EpochWorkload(n_coords=0, nnz=10**6, shared_len=10)
+        assert SequentialCpuTiming(spec).epoch_seconds(wl) == pytest.approx(1.0)

@@ -1,0 +1,161 @@
+"""Tests for the cluster execution planner."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterSpec, DistributedSCD, plan_execution
+from repro.core.scale import CRITEO_PAPER, WEBSPAM_PAPER, PaperScale
+from repro.data import make_webspam_like
+from repro.gpu import GTX_TITAN_X, QUADRO_M4000, TESLA_P100
+from repro.objectives import RidgeProblem
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_webspam_like(300, 700, nnz_per_example=15, seed=3)
+
+
+class TestFormulationChoice:
+    def test_dual_when_features_fewer(self, data):
+        # paper-scale dims decide: criteo M=75M < N=200M -> dual
+        plan = plan_execution(data, paper_scale=CRITEO_PAPER)
+        assert plan.formulation == "dual"
+
+    def test_primal_when_examples_fewer(self, data):
+        plan = plan_execution(data, paper_scale=WEBSPAM_PAPER)
+        assert plan.formulation == "primal"
+
+    def test_scaled_dims_used_without_paper_scale(self, data):
+        # 300 examples x 700 features -> shared vector shorter in primal
+        plan = plan_execution(data)
+        assert plan.formulation == "primal"
+
+
+class TestWorkerSizing:
+    def test_criteo_needs_four_titanx(self, data):
+        """The Section V-B deployment falls out of the planner: 40 GB on
+        12 GB devices -> K=4."""
+        plan = plan_execution(
+            data,
+            cluster=ClusterSpec(devices=GTX_TITAN_X),
+            paper_scale=CRITEO_PAPER,
+        )
+        assert plan.n_workers == 4
+        assert plan.fits
+
+    def test_webspam_fits_one_m4000(self, data):
+        plan = plan_execution(
+            data,
+            cluster=ClusterSpec(devices=QUADRO_M4000),
+            paper_scale=WEBSPAM_PAPER,
+        )
+        assert plan.n_workers == 1
+
+    def test_infeasible_flagged(self, data):
+        huge = PaperScale("huge", 10**9, 10**8, 10**11)  # ~745 GiB
+        plan = plan_execution(
+            data,
+            cluster=ClusterSpec(devices=QUADRO_M4000, max_workers=4),
+            paper_scale=huge,
+        )
+        assert not plan.fits
+        with pytest.raises(ValueError, match="does not fit"):
+            plan.build_engine(
+                RidgeProblem(data, 1e-2),
+                cluster=ClusterSpec(devices=QUADRO_M4000, max_workers=4),
+            )
+
+    def test_fixed_device_list_respected(self, data):
+        devices = [GTX_TITAN_X, QUADRO_M4000, QUADRO_M4000]
+        plan = plan_execution(
+            data,
+            cluster=ClusterSpec(devices=devices),
+            paper_scale=WEBSPAM_PAPER,
+        )
+        assert plan.n_workers == 3
+        assert [d.name for d in plan.devices] == [d.name for d in devices]
+
+
+class TestPlanDetails:
+    def test_heterogeneous_gets_proportional(self, data):
+        plan = plan_execution(
+            data,
+            cluster=ClusterSpec(devices=[GTX_TITAN_X, QUADRO_M4000]),
+            paper_scale=WEBSPAM_PAPER,
+        )
+        assert plan.partitioner_kind == "proportional"
+
+    def test_homogeneous_gets_random(self, data):
+        plan = plan_execution(
+            data,
+            cluster=ClusterSpec(devices=[QUADRO_M4000, QUADRO_M4000]),
+            paper_scale=WEBSPAM_PAPER,
+        )
+        assert plan.partitioner_kind == "random"
+
+    def test_single_worker_uses_averaging(self, data):
+        plan = plan_execution(
+            data,
+            cluster=ClusterSpec(devices=TESLA_P100),
+            paper_scale=WEBSPAM_PAPER,
+        )
+        assert plan.n_workers == 1
+        assert plan.aggregation == "averaging"
+
+    def test_multi_worker_uses_adaptive(self, data):
+        plan = plan_execution(
+            data,
+            cluster=ClusterSpec(devices=GTX_TITAN_X),
+            paper_scale=CRITEO_PAPER,
+        )
+        assert plan.aggregation == "adaptive"
+
+    def test_wave_sizes_per_device(self, data):
+        plan = plan_execution(
+            data,
+            cluster=ClusterSpec(devices=[GTX_TITAN_X, QUADRO_M4000]),
+            paper_scale=WEBSPAM_PAPER,
+        )
+        assert plan.wave_sizes is not None
+        assert len(plan.wave_sizes) == 2
+        assert all(w >= 1 for w in plan.wave_sizes)
+
+    def test_describe_mentions_key_facts(self, data):
+        plan = plan_execution(data, paper_scale=WEBSPAM_PAPER)
+        text = plan.describe()
+        assert "primal" in text and "epoch~" in text
+
+
+class TestBuildEngine:
+    def test_cpu_engine_trains(self, data):
+        problem = RidgeProblem(data, 5e-3)
+        cluster = ClusterSpec()
+        plan = plan_execution(data, cluster=cluster)
+        engine = plan.build_engine(problem, cluster=cluster)
+        assert isinstance(engine, DistributedSCD)
+        res = engine.solve(problem, 8)
+        assert res.history.final_gap() < res.history.gaps[0]
+
+    def test_gpu_engine_prediction_matches_ledger(self, data):
+        """The plan's epoch estimate must equal what the engine books."""
+        problem = RidgeProblem(data, 5e-3)
+        cluster = ClusterSpec(devices=GTX_TITAN_X)
+        plan = plan_execution(data, cluster=cluster, paper_scale=CRITEO_PAPER)
+        engine = plan.build_engine(
+            problem, cluster=cluster, paper_scale=CRITEO_PAPER
+        )
+        n_epochs = 3
+        res = engine.solve(problem, n_epochs, monitor_every=n_epochs)
+        measured = res.history.sim_times[-1] / n_epochs
+        assert measured == pytest.approx(plan.predicted_epoch_seconds, rel=0.05)
+
+    def test_gpu_engine_converges(self, data):
+        problem = RidgeProblem(data, 5e-3)
+        cluster = ClusterSpec(devices=[GTX_TITAN_X, GTX_TITAN_X])
+        plan = plan_execution(data, cluster=cluster)
+        engine = plan.build_engine(problem, cluster=cluster)
+        # without paper_scale the full resident wave runs against the tiny
+        # problem (heavy staleness), so convergence is slower — the check is
+        # that the planned engine optimizes, not that it is staleness-free
+        res = engine.solve(problem, 40)
+        assert res.history.final_gap() < 1e-5

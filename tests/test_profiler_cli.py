@@ -1,0 +1,83 @@
+"""Tests for the GPU kernel profiler and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.tpa_scd import TpaScdKernelFactory
+from repro.gpu import GTX_TITAN_X, GpuDevice, KernelProfile
+from repro.solvers.base import ScdSolver
+
+
+class TestKernelProfile:
+    def test_record_wave_counts(self):
+        prof = KernelProfile()
+        # two blocks: 3 nnz hitting rows [0,1,0] and 2 nnz hitting [2,3]
+        flat_idx = np.array([0, 1, 0, 2, 3])
+        seg_ptr = np.array([0, 3, 5])
+        prof.record_wave(flat_idx, seg_ptr, n_threads=4)
+        assert prof.waves == 1
+        assert prof.blocks == 2
+        assert prof.nnz_processed == 5
+        assert prof.atomic_conflicts == 1  # row 0 written twice
+        assert prof.block_nnz_min == 2 and prof.block_nnz_max == 3
+
+    def test_conflict_rate_and_occupancy(self):
+        prof = KernelProfile()
+        prof.record_wave(np.array([0, 0, 0, 0]), np.array([0, 4]), n_threads=8)
+        assert prof.conflict_rate == pytest.approx(3 / 4)
+        assert prof.occupancy == pytest.approx(4 / 8)
+
+    def test_empty_profile_metrics(self):
+        prof = KernelProfile()
+        assert prof.conflict_rate == 0.0
+        assert prof.occupancy == 0.0
+        assert prof.mean_block_nnz == 0.0
+
+    def test_profile_through_solver(self, ridge_sparse):
+        prof = KernelProfile()
+        fac = TpaScdKernelFactory(
+            GpuDevice(GTX_TITAN_X), wave_size=8, profiler=prof
+        )
+        ScdSolver(fac, "dual", seed=0).solve(ridge_sparse, 2)
+        assert prof.blocks == 2 * ridge_sparse.n
+        assert prof.nnz_processed == 2 * ridge_sparse.dataset.nnz
+        assert 0.0 < prof.occupancy <= 1.0
+        summary = prof.summary()
+        assert summary["waves"] == prof.waves
+
+    def test_no_profiler_by_default(self, ridge_sparse):
+        fac = TpaScdKernelFactory(GpuDevice(GTX_TITAN_X), wave_size=8)
+        res = ScdSolver(fac, "dual", seed=0).solve(ridge_sparse, 1)
+        assert res.history.final_gap() < 1.0  # just runs
+
+
+class TestCli:
+    def test_list_contains_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig2", "fig9", "fig10", "headline",
+                     "ext-smart-partition", "ablation-wave"):
+            assert name in out
+
+    def test_info_mentions_paper(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Parnell" in out and "TPA-SCD" in out
+
+    def test_run_prints_series(self, capsys):
+        assert main(["run", "ext-smart-partition", "--max-rows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "correlation-aware" in out
+        assert "gap" in out
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_parser_scale_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig1", "--scale", "full"])
+        assert args.scale == "full"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "fig1", "--scale", "gigantic"])

@@ -1,0 +1,51 @@
+"""Tests for throughput-proportional partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import proportional_partition
+
+
+class TestProportionalPartition:
+    def test_cover_and_disjoint(self, rng):
+        parts = proportional_partition(100, np.array([3.0, 1.0]), rng)
+        combined = np.sort(np.concatenate(parts))
+        assert np.array_equal(combined, np.arange(100))
+
+    def test_sizes_proportional(self, rng):
+        parts = proportional_partition(100, np.array([3.0, 1.0]), rng)
+        assert len(parts[0]) == 75
+        assert len(parts[1]) == 25
+
+    def test_equal_speeds_equal_sizes(self, rng):
+        parts = proportional_partition(99, np.ones(3), rng)
+        sizes = sorted(len(p) for p in parts)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_largest_remainder_apportionment(self, rng):
+        parts = proportional_partition(10, np.array([1.0, 1.0, 1.0]), rng)
+        assert sum(len(p) for p in parts) == 10
+
+    def test_no_empty_parts_with_extreme_skew(self, rng):
+        parts = proportional_partition(10, np.array([1000.0, 1.0, 1.0]), rng)
+        assert all(len(p) >= 1 for p in parts)
+        assert sum(len(p) for p in parts) == 10
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            proportional_partition(10, np.array([1.0, 0.0]), rng)
+        with pytest.raises(ValueError, match="1-D"):
+            proportional_partition(10, np.ones((2, 2)), rng)
+        with pytest.raises(ValueError, match="non-empty"):
+            proportional_partition(10, np.ones(0), rng)
+
+    def test_sorted_within_part(self, rng):
+        parts = proportional_partition(50, np.array([2.0, 1.0]), rng)
+        for p in parts:
+            assert np.all(np.diff(p) > 0)
+
+    def test_deterministic_given_rng(self):
+        a = proportional_partition(50, np.array([2.0, 1.0]), np.random.default_rng(5))
+        b = proportional_partition(50, np.array([2.0, 1.0]), np.random.default_rng(5))
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)

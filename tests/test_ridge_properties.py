@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for ridge regression invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset
+from repro.objectives import (
+    RidgeProblem,
+    dual_coordinate_delta,
+    primal_coordinate_delta,
+    solve_exact,
+)
+from repro.sparse import from_dense_csr
+
+
+@st.composite
+def ridge_problems(draw):
+    n = draw(st.integers(3, 12))
+    m = draw(st.integers(2, 10))
+    seed = draw(st.integers(0, 2**31 - 1))
+    lam = draw(st.sampled_from([1e-3, 1e-2, 1e-1, 1.0]))
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, m))
+    # randomly sparsify but keep at least one nonzero to avoid degeneracy
+    mask = rng.random((n, m)) < 0.7
+    mask.flat[0] = True
+    dense = dense * mask
+    y = rng.standard_normal(n)
+    ds = Dataset(matrix=from_dense_csr(dense), y=y)
+    return RidgeProblem(ds, lam), dense
+
+
+@given(ridge_problems())
+@settings(max_examples=40, deadline=None)
+def test_strong_duality_at_optimum(problem_dense):
+    problem, _ = problem_dense
+    sol = solve_exact(problem)
+    assert np.isclose(sol.primal_value, sol.dual_value, rtol=1e-8, atol=1e-10)
+
+
+@given(ridge_problems(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_weak_duality_everywhere(problem_dense, seed):
+    problem, _ = problem_dense
+    rng = np.random.default_rng(seed)
+    beta = rng.standard_normal(problem.m)
+    alpha = rng.standard_normal(problem.n) * 0.1
+    assert problem.primal_objective(beta) >= problem.dual_objective(alpha) - 1e-10
+
+
+@given(ridge_problems(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_gap_definitions_nonnegative(problem_dense, seed):
+    problem, _ = problem_dense
+    rng = np.random.default_rng(seed)
+    assert problem.primal_gap(rng.standard_normal(problem.m)) >= 0
+    assert problem.dual_gap(rng.standard_normal(problem.n) * 0.1) >= 0
+
+
+@given(ridge_problems(), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_primal_coordinate_step_never_increases_objective(problem_dense, seed):
+    problem, dense = problem_dense
+    rng = np.random.default_rng(seed)
+    beta = rng.standard_normal(problem.m) * 0.3
+    w = dense @ beta
+    f_before = problem.primal_objective(beta, w)
+    m = int(rng.integers(0, problem.m))
+    a_m = dense[:, m]
+    delta = primal_coordinate_delta(
+        float((problem.y - w) @ a_m),
+        float(a_m @ a_m),
+        float(beta[m]),
+        problem.n,
+        problem.lam,
+    )
+    beta[m] += delta
+    assert problem.primal_objective(beta) <= f_before + 1e-10
+
+
+@given(ridge_problems(), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_dual_coordinate_step_never_decreases_objective(problem_dense, seed):
+    problem, dense = problem_dense
+    rng = np.random.default_rng(seed)
+    alpha = rng.standard_normal(problem.n) * 0.1
+    wbar = dense.T @ alpha
+    d_before = problem.dual_objective(alpha, wbar)
+    i = int(rng.integers(0, problem.n))
+    a_i = dense[i]
+    delta = dual_coordinate_delta(
+        float(wbar @ a_i),
+        float(a_i @ a_i),
+        float(alpha[i]),
+        float(problem.y[i]),
+        problem.n,
+        problem.lam,
+    )
+    alpha[i] += delta
+    assert problem.dual_objective(alpha) >= d_before - 1e-10
+
+
+@given(ridge_problems())
+@settings(max_examples=30, deadline=None)
+def test_optimality_mappings_are_mutual(problem_dense):
+    """Eq. 5 applied to Eq. 6's image of beta* returns beta* (fixed point)."""
+    problem, _ = problem_dense
+    sol = solve_exact(problem)
+    alpha = problem.alpha_from_beta(sol.beta)
+    beta_back = problem.beta_from_alpha(alpha)
+    assert np.allclose(beta_back, sol.beta, atol=1e-6)
+
+
+@given(ridge_problems(), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_exact_solution_is_primal_minimizer(problem_dense, seed):
+    problem, _ = problem_dense
+    sol = solve_exact(problem)
+    rng = np.random.default_rng(seed)
+    perturbed = sol.beta + rng.standard_normal(problem.m) * 0.1
+    assert problem.primal_objective(perturbed) >= sol.primal_value - 1e-10

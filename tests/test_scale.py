@@ -1,0 +1,48 @@
+"""Tests for the paper-scale dimension carriers."""
+
+import pytest
+
+from repro.core.scale import CRITEO_PAPER, WEBSPAM_PAPER, PaperScale
+
+
+class TestPaperScale:
+    def test_webspam_dimensions_match_paper(self):
+        assert WEBSPAM_PAPER.n_examples == 262_938
+        assert WEBSPAM_PAPER.n_features == 680_715
+
+    def test_criteo_dimensions_match_paper(self):
+        assert CRITEO_PAPER.n_examples == 200_000_000
+        assert CRITEO_PAPER.n_features == 75_000_000
+        # the paper's 40 GB CSR footprint at 8 B/nnz
+        assert 30 * 2**30 < CRITEO_PAPER.nnz * 8 < 50 * 2**30
+
+    def test_coords_by_formulation(self):
+        assert WEBSPAM_PAPER.n_coords("primal") == WEBSPAM_PAPER.n_features
+        assert WEBSPAM_PAPER.n_coords("dual") == WEBSPAM_PAPER.n_examples
+
+    def test_shared_len_by_formulation(self):
+        assert WEBSPAM_PAPER.shared_len("primal") == WEBSPAM_PAPER.n_examples
+        assert WEBSPAM_PAPER.shared_len("dual") == WEBSPAM_PAPER.n_features
+
+    def test_unknown_formulation(self):
+        with pytest.raises(ValueError):
+            WEBSPAM_PAPER.n_coords("hybrid")
+        with pytest.raises(ValueError):
+            WEBSPAM_PAPER.shared_len("hybrid")
+
+    def test_worker_workload_fractions(self):
+        wl = WEBSPAM_PAPER.worker_workload("dual", 0.25, 0.25)
+        assert wl.n_coords == pytest.approx(WEBSPAM_PAPER.n_examples / 4, rel=0.01)
+        assert wl.nnz == pytest.approx(WEBSPAM_PAPER.nnz / 4, rel=0.01)
+        assert wl.shared_len == WEBSPAM_PAPER.n_features
+
+    def test_worker_workload_validation(self):
+        with pytest.raises(ValueError, match="fractions"):
+            WEBSPAM_PAPER.worker_workload("dual", 0.0, 0.5)
+        with pytest.raises(ValueError, match="fractions"):
+            WEBSPAM_PAPER.worker_workload("dual", 0.5, 1.5)
+
+    def test_minimum_one_coordinate(self):
+        tiny = PaperScale("t", 10, 10, 10)
+        wl = tiny.worker_workload("dual", 1e-9, 1e-9)
+        assert wl.n_coords >= 1 and wl.nnz >= 1

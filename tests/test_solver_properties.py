@@ -1,0 +1,64 @@
+"""Property-based equivalence tests across solver execution models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tpa_scd import TpaScdKernelFactory
+from repro.data import Dataset
+from repro.gpu import GTX_TITAN_X, GpuDevice
+from repro.objectives import RidgeProblem
+from repro.solvers import ASCD, SequentialSCD
+from repro.solvers.base import ScdSolver
+from repro.sparse import from_dense_csr
+
+
+@st.composite
+def small_problems(draw):
+    n = draw(st.integers(4, 14))
+    m = draw(st.integers(3, 12))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, m)) * (rng.random((n, m)) < 0.6)
+    dense.flat[0] = 1.0
+    ds = Dataset(matrix=from_dense_csr(dense), y=rng.standard_normal(n))
+    return RidgeProblem(ds, lam=draw(st.sampled_from([1e-2, 1e-1])))
+
+
+@given(small_problems(), st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_ascd_single_thread_equals_sequential(problem, seed):
+    """chunk size 1 (one thread) must be bit-for-bit Algorithm 1."""
+    seq = SequentialSCD("primal", seed=seed).solve(problem, 3)
+    asc = ASCD("primal", n_threads=1, seed=seed).solve(problem, 3)
+    assert np.allclose(seq.weights, asc.weights, atol=1e-13)
+
+
+@given(small_problems(), st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_tpa_wave1_fp64_equals_sequential(problem, seed):
+    """TPA-SCD with wave 1 and float64 is exactly sequential SCD."""
+    factory = TpaScdKernelFactory(
+        GpuDevice(GTX_TITAN_X), wave_size=1, dtype=np.float64
+    )
+    tpa = ScdSolver(factory, "primal", seed=seed).solve(problem, 3)
+    seq = SequentialSCD("primal", seed=seed).solve(problem, 3)
+    assert np.allclose(tpa.weights, seq.weights, atol=1e-10)
+
+
+@given(small_problems(), st.integers(2, 8), st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_atomic_chunked_keeps_shared_vector_consistent(problem, chunk, seed):
+    """All-updates-applied semantics: w == A beta after any atomic run."""
+    res = ASCD("primal", n_threads=chunk, seed=seed).solve(problem, 2)
+    w_expected = problem.dataset.csc.matvec(res.weights)
+    assert np.allclose(res.shared, w_expected, atol=1e-9)
+
+
+@given(small_problems(), st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_dual_gap_monotone_trend_sequential(problem, seed):
+    """Sequential SDCA's dual objective is monotone non-decreasing."""
+    res = SequentialSCD("dual", seed=seed).solve(problem, 6, monitor_every=1)
+    objs = res.history.objectives
+    assert np.all(np.diff(objs) >= -1e-9)

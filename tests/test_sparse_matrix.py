@@ -1,0 +1,193 @@
+"""Unit tests for the CSC/CSR matrix formats against dense oracles."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CscMatrix,
+    CsrMatrix,
+    from_coo,
+    from_dense_csc,
+    from_dense_csr,
+)
+
+
+def _dense(rng, shape, density=0.4):
+    mask = rng.random(shape) < density
+    return mask * rng.standard_normal(shape)
+
+
+class TestConstruction:
+    def test_from_coo_duplicates_summed(self):
+        m = from_coo([0, 0, 1], [1, 1, 0], [2.0, 3.0, 4.0], (2, 2), fmt="csr")
+        dense = m.to_dense()
+        assert dense[0, 1] == 5.0
+        assert dense[1, 0] == 4.0
+        assert m.nnz == 2
+
+    def test_from_coo_bounds_checked(self):
+        with pytest.raises(ValueError, match="row index"):
+            from_coo([5], [0], [1.0], (2, 2))
+        with pytest.raises(ValueError, match="column index"):
+            from_coo([0], [9], [1.0], (2, 2))
+
+    def test_from_coo_unknown_format(self):
+        with pytest.raises(ValueError, match="format"):
+            from_coo([0], [0], [1.0], (1, 1), fmt="coo")
+
+    def test_from_coo_shape_mismatch(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            from_coo([0, 1], [0], [1.0], (2, 2))
+
+    def test_from_dense_roundtrip_csc(self):
+        rng = np.random.default_rng(0)
+        dense = _dense(rng, (9, 6))
+        assert np.allclose(from_dense_csc(dense).to_dense(), dense)
+
+    def test_from_dense_roundtrip_csr(self):
+        rng = np.random.default_rng(1)
+        dense = _dense(rng, (6, 11))
+        assert np.allclose(from_dense_csr(dense).to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            from_dense_csc(np.ones(4))
+        with pytest.raises(ValueError, match="2-D"):
+            from_dense_csr(np.ones(4))
+
+    def test_empty_matrix(self):
+        m = from_coo([], [], [], (3, 4), fmt="csc")
+        assert m.nnz == 0
+        assert np.allclose(m.to_dense(), np.zeros((3, 4)))
+        assert m.density == 0.0
+
+    def test_integer_data_promoted_to_float(self):
+        m = from_coo([0], [0], np.array([3]), (1, 1), fmt="csr", dtype=np.int64)
+        assert m.dtype.kind == "f"
+
+
+class TestAlgebra:
+    @pytest.fixture
+    def pair(self):
+        rng = np.random.default_rng(7)
+        dense = _dense(rng, (12, 8))
+        return dense, from_dense_csc(dense), from_dense_csr(dense)
+
+    def test_csc_matvec(self, pair):
+        dense, csc, _ = pair
+        x = np.random.default_rng(1).standard_normal(8)
+        assert np.allclose(csc.matvec(x), dense @ x)
+
+    def test_csc_rmatvec(self, pair):
+        dense, csc, _ = pair
+        x = np.random.default_rng(2).standard_normal(12)
+        assert np.allclose(csc.rmatvec(x), dense.T @ x)
+
+    def test_csr_matvec(self, pair):
+        dense, _, csr = pair
+        x = np.random.default_rng(3).standard_normal(8)
+        assert np.allclose(csr.matvec(x), dense @ x)
+
+    def test_csr_rmatvec(self, pair):
+        dense, _, csr = pair
+        x = np.random.default_rng(4).standard_normal(12)
+        assert np.allclose(csr.rmatvec(x), dense.T @ x)
+
+    def test_matvec_wrong_length(self, pair):
+        _, csc, csr = pair
+        with pytest.raises(ValueError, match="length"):
+            csc.matvec(np.ones(9))
+        with pytest.raises(ValueError, match="length"):
+            csr.matvec(np.ones(9))
+
+    def test_col_norms(self, pair):
+        dense, csc, _ = pair
+        assert np.allclose(csc.col_norms_sq(), (dense**2).sum(axis=0))
+
+    def test_row_norms(self, pair):
+        dense, _, csr = pair
+        assert np.allclose(csr.row_norms_sq(), (dense**2).sum(axis=1))
+
+    def test_nnz_counts(self, pair):
+        dense, csc, csr = pair
+        assert np.array_equal(csc.col_nnz(), (dense != 0).sum(axis=0))
+        assert np.array_equal(csr.row_nnz(), (dense != 0).sum(axis=1))
+
+
+class TestViewsAndSelection:
+    @pytest.fixture
+    def pair(self):
+        rng = np.random.default_rng(11)
+        dense = _dense(rng, (10, 14))
+        return dense, from_dense_csc(dense), from_dense_csr(dense)
+
+    def test_col_view(self, pair):
+        dense, csc, _ = pair
+        for j in range(14):
+            idx, vals = csc.col(j)
+            rebuilt = np.zeros(10)
+            rebuilt[idx] = vals
+            assert np.allclose(rebuilt, dense[:, j])
+
+    def test_row_view(self, pair):
+        dense, _, csr = pair
+        for i in range(10):
+            idx, vals = csr.row(i)
+            rebuilt = np.zeros(14)
+            rebuilt[idx] = vals
+            assert np.allclose(rebuilt, dense[i])
+
+    def test_take_cols(self, pair):
+        dense, csc, _ = pair
+        sel = np.array([0, 3, 13, 7])
+        assert np.allclose(csc.take_cols(sel).to_dense(), dense[:, sel])
+
+    def test_take_rows(self, pair):
+        dense, _, csr = pair
+        sel = np.array([9, 0, 4])
+        assert np.allclose(csr.take_rows(sel).to_dense(), dense[sel])
+
+    def test_take_empty_columns_allowed(self, pair):
+        dense, csc, _ = pair
+        # column with no nonzeros still selectable
+        zero_col = int(np.argmin((dense != 0).sum(axis=0)))
+        sub = csc.take_cols(np.array([zero_col]))
+        assert sub.shape == (10, 1)
+
+    def test_conversion_csc_csr(self, pair):
+        dense, csc, csr = pair
+        assert np.allclose(csc.to_csr().to_dense(), dense)
+        assert np.allclose(csr.to_csc().to_dense(), dense)
+
+    def test_conversion_preserves_algebra(self, pair):
+        dense, csc, _ = pair
+        csr = csc.to_csr()
+        x = np.random.default_rng(5).standard_normal(14)
+        assert np.allclose(csr.matvec(x), dense @ x)
+
+
+class TestMisc:
+    def test_nbytes_positive_and_consistent(self, random_csr):
+        assert random_csr.nbytes == (
+            random_csr.indptr.nbytes
+            + random_csr.indices.nbytes
+            + random_csr.data.nbytes
+        )
+
+    def test_astype(self, random_csr):
+        m32 = random_csr.astype(np.float32)
+        assert m32.dtype == np.float32
+        assert np.allclose(m32.to_dense(), random_csr.to_dense(), atol=1e-6)
+
+    def test_copy_independent(self, random_csc):
+        c = random_csc.copy()
+        c.data[:] = 0.0
+        assert not np.allclose(random_csc.data, 0.0)
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CscMatrix((-1, 2), np.array([0, 0, 0]), np.zeros(0, np.int64), np.zeros(0))
+
+    def test_density(self):
+        m = from_coo([0, 1], [0, 1], [1.0, 1.0], (2, 2), fmt="csr")
+        assert m.density == pytest.approx(0.5)

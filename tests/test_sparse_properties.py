@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the sparse substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse import from_coo, from_dense_csc, from_dense_csr
+from repro.sparse.ops import segment_sums
+
+matrix_shapes = st.tuples(
+    st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=12)
+)
+
+
+@st.composite
+def dense_matrices(draw):
+    shape = draw(matrix_shapes)
+    return draw(
+        arrays(
+            np.float64,
+            shape,
+            elements=st.floats(
+                min_value=-10, max_value=10, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+
+
+@st.composite
+def coo_triplets(draw):
+    n = draw(st.integers(1, 10))
+    m = draw(st.integers(1, 10))
+    nnz = draw(st.integers(0, 40))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, m - 1), min_size=nnz, max_size=nnz))
+    vals = draw(
+        st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return n, m, np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64), np.array(vals)
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_dense_roundtrip_csc(dense):
+    assert np.allclose(from_dense_csc(dense).to_dense(), dense)
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_dense_roundtrip_csr(dense):
+    assert np.allclose(from_dense_csr(dense).to_dense(), dense)
+
+
+@given(dense_matrices(), st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_matvec_matches_dense(dense, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(dense.shape[1])
+    csc = from_dense_csc(dense)
+    csr = from_dense_csr(dense)
+    expected = dense @ x
+    assert np.allclose(csc.matvec(x), expected, atol=1e-9)
+    assert np.allclose(csr.matvec(x), expected, atol=1e-9)
+
+
+@given(dense_matrices(), st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_rmatvec_matches_dense(dense, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(dense.shape[0])
+    csc = from_dense_csc(dense)
+    csr = from_dense_csr(dense)
+    expected = dense.T @ x
+    assert np.allclose(csc.rmatvec(x), expected, atol=1e-9)
+    assert np.allclose(csr.rmatvec(x), expected, atol=1e-9)
+
+
+@given(coo_triplets())
+@settings(max_examples=60, deadline=None)
+def test_coo_agrees_with_dense_accumulation(triplet):
+    n, m, rows, cols, vals = triplet
+    dense = np.zeros((n, m))
+    np.add.at(dense, (rows, cols), vals)
+    for fmt in ("csc", "csr"):
+        mat = from_coo(rows, cols, vals, (n, m), fmt=fmt)
+        assert np.allclose(mat.to_dense(), dense, atol=1e-12)
+
+
+@given(dense_matrices())
+@settings(max_examples=40, deadline=None)
+def test_transpose_involution(dense):
+    csc = from_dense_csc(dense)
+    back = csc.to_csr().to_csc()
+    assert np.allclose(back.to_dense(), dense)
+    assert back.shape == csc.shape
+
+
+@given(dense_matrices())
+@settings(max_examples=40, deadline=None)
+def test_norms_nonnegative_and_match(dense):
+    csc = from_dense_csc(dense)
+    norms = csc.col_norms_sq()
+    assert np.all(norms >= 0)
+    assert np.allclose(norms, (dense**2).sum(axis=0), atol=1e-9)
+
+
+@given(
+    st.lists(st.integers(0, 5), min_size=1, max_size=30),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_segment_sums_total_is_preserved(lengths, seed):
+    indptr = np.concatenate([[0], np.cumsum(lengths)])
+    rng = np.random.default_rng(seed)
+    vals = rng.standard_normal(int(indptr[-1]))
+    sums = segment_sums(vals, indptr)
+    assert np.isclose(sums.sum(), vals.sum(), atol=1e-9)
+
+
+@given(dense_matrices(), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_take_major_matches_fancy_indexing(dense, seed):
+    rng = np.random.default_rng(seed)
+    n, m = dense.shape
+    col_sel = rng.integers(0, m, size=rng.integers(1, m + 1))
+    row_sel = rng.integers(0, n, size=rng.integers(1, n + 1))
+    csc = from_dense_csc(dense)
+    csr = from_dense_csr(dense)
+    assert np.allclose(csc.take_cols(col_sel).to_dense(), dense[:, col_sel])
+    assert np.allclose(csr.take_rows(row_sel).to_dense(), dense[row_sel])

@@ -1,0 +1,132 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    make_criteo_like,
+    make_dense_gaussian,
+    make_sparse_regression,
+    make_webspam_like,
+    powerlaw_indices,
+)
+
+
+class TestPowerlawIndices:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        idx = powerlaw_indices(10_000, 50, 2.0, rng)
+        assert idx.min() >= 0 and idx.max() < 50
+
+    def test_uniform_when_exponent_one(self):
+        rng = np.random.default_rng(1)
+        idx = powerlaw_indices(50_000, 10, 1.0, rng)
+        counts = np.bincount(idx, minlength=10)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_heavier_head_with_larger_exponent(self):
+        rng = np.random.default_rng(2)
+        light = powerlaw_indices(50_000, 100, 1.5, np.random.default_rng(2))
+        heavy = powerlaw_indices(50_000, 100, 4.0, np.random.default_rng(2))
+        assert (heavy < 10).mean() > (light < 10).mean()
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="n_values"):
+            powerlaw_indices(10, 0, 2.0, rng)
+        with pytest.raises(ValueError, match="exponent"):
+            powerlaw_indices(10, 5, 0.5, rng)
+
+
+class TestWebspamLike:
+    def test_shapes_and_meta(self):
+        ds = make_webspam_like(300, 500, nnz_per_example=15, seed=4)
+        assert ds.n_examples == 300
+        assert ds.n_features == 500
+        assert ds.meta["seed"] == 4
+        assert "webspam" in ds.meta["paper_dataset"]
+
+    def test_labels_are_plus_minus_one(self):
+        ds = make_webspam_like(200, 300, seed=0)
+        assert set(np.unique(ds.y)) <= {-1.0, 1.0}
+
+    def test_rows_near_unit_norm(self):
+        ds = make_webspam_like(200, 400, nnz_per_example=20, seed=1)
+        norms = ds.csr.row_norms_sq()
+        # duplicate draws of the same (positive-valued) feature merge after
+        # normalization, which can only increase a row's norm, so the upper
+        # tolerance is loose
+        assert np.all(norms > 0.5) and np.all(norms < 3.0)
+
+    def test_deterministic(self):
+        a = make_webspam_like(100, 200, seed=9)
+        b = make_webspam_like(100, 200, seed=9)
+        assert np.allclose(a.csr.data, b.csr.data)
+        assert np.allclose(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = make_webspam_like(100, 200, seed=1)
+        b = make_webspam_like(100, 200, seed=2)
+        assert not np.allclose(a.y, b.y)
+
+
+class TestCriteoLike:
+    def test_values_all_one(self):
+        ds = make_criteo_like(500, n_groups=5, group_cardinality=40, seed=3)
+        assert np.all(ds.csr.data == 1.0)
+
+    def test_one_feature_per_group(self):
+        groups, card = 6, 30
+        ds = make_criteo_like(400, n_groups=groups, group_cardinality=card, seed=5)
+        csr = ds.csr
+        for i in range(0, 400, 37):
+            cols, _ = csr.row(i)
+            owner = cols // card
+            # every group contributes at least once; duplicates within a
+            # group merge, so at most `groups` distinct features per row
+            assert len(np.unique(owner)) == len(owner)
+            assert len(owner) <= groups
+
+    def test_click_rate_approximate(self):
+        ds = make_criteo_like(4_000, seed=7, click_rate=0.25)
+        assert abs(ds.y.mean() - 0.25) < 0.05
+
+    def test_feature_space_size(self):
+        ds = make_criteo_like(100, n_groups=4, group_cardinality=25, seed=0)
+        assert ds.n_features == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_criteo_like(10, n_groups=0)
+
+
+class TestSparseRegression:
+    def test_binarize_flag(self):
+        cont = make_sparse_regression(100, 50, binarize=False)
+        assert len(np.unique(cont.y)) > 2
+        binr = make_sparse_regression(100, 50, binarize=True)
+        assert set(np.unique(binr.y)) <= {-1.0, 1.0}
+
+    def test_dtype(self):
+        ds = make_sparse_regression(50, 30, dtype=np.float32)
+        assert ds.csr.dtype == np.float32
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            make_sparse_regression(0, 10)
+        with pytest.raises(ValueError, match="nnz_per_example"):
+            make_sparse_regression(10, 10, nnz_per_example=0)
+
+
+class TestDenseGaussian:
+    def test_fully_dense(self):
+        ds = make_dense_gaussian(20, 10)
+        assert ds.nnz == 200
+
+    def test_targets_follow_linear_model(self):
+        ds = make_dense_gaussian(200, 10, noise=0.0, seed=2)
+        # noiseless targets are exactly representable: the least-squares
+        # residual must vanish
+        dense = ds.csr.to_dense()
+        beta, *_ = np.linalg.lstsq(dense, ds.y, rcond=None)
+        assert np.allclose(dense @ beta, ds.y, atol=1e-8)
