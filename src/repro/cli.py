@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig2                  # regenerate one figure
     python -m repro run fig2 --scale full     # at the larger scale
     python -m repro info                      # paper + substitution summary
+    python -m repro faults                    # named fault-injection scenarios
 """
 
 from __future__ import annotations
@@ -46,6 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list all experiment ids")
     sub.add_parser("info", help="describe the reproduction")
+    sub.add_parser(
+        "faults",
+        help="list the named fault-injection scenarios "
+        "(run them via ext-fault-tolerance / ext-fault-breakdown)",
+    )
 
     run = sub.add_parser("run", help="run one experiment and print its series")
     run.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS))
@@ -85,6 +91,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(
                 _INFO.format(version=__version__, scales=", ".join(sorted(SCALES)))
             )
+            return 0
+        if args.command == "faults":
+            from .experiments.faults import scenario_table
+
+            print(scenario_table())
             return 0
         if args.command == "run":
             scale = SCALES[args.scale] if args.scale else None

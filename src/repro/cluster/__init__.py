@@ -2,6 +2,16 @@
 
 from ..perf.link import ETHERNET_10G, ETHERNET_100G, Link
 from .comm import SimCommunicator
+from .faults import (
+    DEFAULT_RETRY,
+    SCENARIOS,
+    FaultInjector,
+    FaultReport,
+    FaultSpec,
+    RetryPolicy,
+    WorkerEpochFaults,
+    make_fault_injector,
+)
 from .mp_cluster import MpDistributedSCD
 from .partition import (
     balanced_nnz_partition,
@@ -20,6 +30,14 @@ from .smart_partition import (
 __all__ = [
     "SimCommunicator",
     "MpDistributedSCD",
+    "FaultInjector",
+    "FaultReport",
+    "FaultSpec",
+    "RetryPolicy",
+    "WorkerEpochFaults",
+    "DEFAULT_RETRY",
+    "SCENARIOS",
+    "make_fault_injector",
     "random_partition",
     "contiguous_partition",
     "balanced_nnz_partition",

@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from ..perf.link import ETHERNET_10G, Link
+from .faults import DEFAULT_RETRY, RetryPolicy
 
 __all__ = ["SimCommunicator"]
 
@@ -40,6 +41,7 @@ class SimCommunicator:
         link: Link = ETHERNET_10G,
         *,
         algorithm: str = "tree",
+        retry: RetryPolicy = DEFAULT_RETRY,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -48,6 +50,7 @@ class SimCommunicator:
         self.n_workers = int(n_workers)
         self.link = link
         self.algorithm = algorithm
+        self.retry = retry
 
     # -- cost model -----------------------------------------------------------
     def _rounds(self) -> int:
@@ -88,6 +91,21 @@ class SimCommunicator:
             return 0.0
         return self.reduce_seconds(8 * n_scalars)
 
+    def retry_seconds(self, nbytes: int | float, n_failures: int) -> float:
+        """Modelled overhead of ``n_failures`` transient failures of one
+        point-to-point transfer: detection timeouts, exponential backoff, and
+        full retransmissions under this communicator's :class:`RetryPolicy`.
+
+        Failures beyond ``retry.max_retries`` are not billed — the transfer
+        is abandoned at that point and the caller must treat the payload as
+        dropped (``retry.exhausted`` tells it when).
+        """
+        if n_failures <= 0 or self.n_workers == 1:
+            return 0.0
+        return self.retry.penalty_seconds(
+            n_failures, self.link.transfer_seconds(nbytes)
+        )
+
     # -- functional collectives --------------------------------------------------
     def reduce_sum(self, contributions: Sequence[np.ndarray]) -> np.ndarray:
         """Element-wise sum of one array per rank (master-side result)."""
@@ -95,6 +113,26 @@ class SimCommunicator:
             raise ValueError(
                 f"expected {self.n_workers} contributions, got {len(contributions)}"
             )
+        return self.reduce_sum_partial(contributions)
+
+    def reduce_sum_partial(
+        self, contributions: Sequence[np.ndarray], *, like: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Sum of however many contributions survived a degraded epoch.
+
+        Unlike :meth:`reduce_sum` this accepts any count ``0..n_workers`` —
+        the fault-aware engines aggregate over the K' <= K update vectors
+        that actually arrived.  ``like`` supplies the output shape when no
+        contribution survived.  The accumulation order matches
+        :meth:`reduce_sum` exactly so a fault-free degraded epoch is
+        bit-identical to the healthy path.
+        """
+        if not len(contributions):
+            if like is None:
+                raise ValueError(
+                    "need `like` to shape an empty partial reduction"
+                )
+            return np.zeros_like(like, dtype=np.float64)
         out = np.array(contributions[0], dtype=np.float64, copy=True)
         for c in contributions[1:]:
             if c.shape != out.shape:

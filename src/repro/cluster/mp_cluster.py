@@ -15,6 +15,15 @@ which is the strongest available check that the simulated engine's
 Scope: sequential-SCD local solvers (the paper's CPU cluster), both
 formulations, averaging/adaptive/adding aggregation.  The GPU solvers stay
 simulation-only — their device model has no OS-process counterpart.
+
+Fault injection: the backend honours the *functional* faults of a
+:class:`~repro.cluster.faults.FaultInjector` — worker dropout (the child is
+simply not asked to run the epoch) and lost updates (drop, stale-as-drop,
+and retry exhaustion all exclude the child's delta and tell it to fold
+gamma = 0), with the aggregation rescaled over the K' survivors.  Time-only
+faults (stragglers, retry latency) have no meaning against real wall-clock
+and are ignored here; ``tests/test_faults.py`` exploits the overlap to check
+the simulated engine's degraded-mode *semantics* against real processes.
 """
 
 from __future__ import annotations
@@ -31,6 +40,14 @@ from ..metrics import ConvergenceHistory, ConvergenceRecord
 from ..objectives.ridge import RidgeProblem
 from ..perf.ledger import TimeLedger
 from ..solvers.kernels import dual_epoch_sequential, primal_epoch_sequential
+from .faults import (
+    DEFAULT_RETRY,
+    FaultInjector,
+    FaultReport,
+    FaultSpec,
+    WorkerEpochFaults,
+    make_fault_injector,
+)
 from .partition import random_partition
 
 __all__ = ["MpDistributedSCD"]
@@ -120,6 +137,7 @@ class MpDistributedSCD:
         aggregation: str = "averaging",
         seed: int = 0,
         mp_context: str | None = None,
+        faults: FaultInjector | FaultSpec | str | None = None,
     ) -> None:
         if formulation not in ("primal", "dual"):
             raise ValueError(f"unknown formulation {formulation!r}")
@@ -129,6 +147,7 @@ class MpDistributedSCD:
         self.n_workers = int(n_workers)
         self.aggregator = make_aggregator(aggregation)
         self.seed = int(seed)
+        self.faults = make_fault_injector(faults)
         self._ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
         self.name = (
             f"MpDistributed[SCD x{self.n_workers}, "
@@ -219,47 +238,89 @@ class MpDistributedSCD:
                 )
             )
             updates = 0
+            report = FaultReport() if self.faults is not None else None
+            benign = WorkerEpochFaults()
             for epoch in range(1, n_epochs + 1):
-                for conn in pipes:
-                    conn.send(("epoch", shared))
+                plan = (
+                    self.faults.plan_epoch(epoch, self.n_workers)
+                    if self.faults is not None
+                    else None
+                )
+                if report is not None:
+                    report.epochs += 1
+                # dropout faults: the child is not asked to run this epoch,
+                # so its permutation stream does not advance (matching the
+                # simulated engine's semantics)
+                active = [
+                    rank
+                    for rank in range(self.n_workers)
+                    if plan is None or not plan[rank].dropout
+                ]
+                if report is not None:
+                    report.dropouts += self.n_workers - len(active)
+                for rank in active:
+                    pipes[rank].send(("epoch", shared))
                 dshared_total = np.zeros(shared_len)
                 model_dot = 0.0
                 dmodel_norm = 0.0
                 dmodel_y = 0.0
-                dweights_by_rank = []
+                dweights_by_rank: dict[int, np.ndarray] = {}
+                arrived_ranks: list[int] = []
                 max_worker_s = 0.0
-                for rank, conn in enumerate(pipes):
-                    dshared, dweights, stats, elapsed = conn.recv()
+                for rank in active:
+                    dshared, dweights, stats, elapsed = pipes[rank].recv()
+                    wf = plan[rank] if plan is not None else benign
+                    max_worker_s = max(max_worker_s, elapsed)
+                    updates += parts[rank].shape[0]
+                    dweights_by_rank[rank] = dweights
+                    # stale updates have no next-round buffer against real
+                    # processes; they count as lost, like retry exhaustion
+                    lost = (
+                        wf.drop_update
+                        or wf.stale_update
+                        or DEFAULT_RETRY.exhausted(wf.send_failures)
+                    )
+                    if lost:
+                        if report is not None:
+                            report.dropped_updates += 1
+                        continue
+                    arrived_ranks.append(rank)
                     dshared_total += dshared
-                    dweights_by_rank.append(dweights)
                     model_dot += stats[0]
                     dmodel_norm += stats[1]
                     dmodel_y += stats[2]
-                    max_worker_s = max(max_worker_s, elapsed)
-                    updates += parts[rank].shape[0]
-                if self.formulation == "primal":
-                    resid_dot = float((shared - problem.y) @ dshared_total)
-                else:
-                    resid_dot = float(shared @ dshared_total)
-                gamma = self.aggregator.gamma(
-                    AggregationStats(
-                        formulation=self.formulation,
-                        n=problem.n,
-                        lam=problem.lam,
-                        n_workers=self.n_workers,
-                        resid_dot_dshared=resid_dot,
-                        dshared_norm_sq=float(dshared_total @ dshared_total),
-                        model_dot_dmodel=model_dot,
-                        dmodel_norm_sq=dmodel_norm,
-                        dmodel_dot_y=dmodel_y,
+                n_arrived = len(arrived_ranks)
+                if report is not None:
+                    report.survivor_counts.append(n_arrived)
+                if n_arrived:
+                    if self.formulation == "primal":
+                        resid_dot = float((shared - problem.y) @ dshared_total)
+                    else:
+                        resid_dot = float(shared @ dshared_total)
+                    gamma = self.aggregator.gamma(
+                        AggregationStats(
+                            formulation=self.formulation,
+                            n=problem.n,
+                            lam=problem.lam,
+                            n_workers=n_arrived,
+                            resid_dot_dshared=resid_dot,
+                            dshared_norm_sq=float(dshared_total @ dshared_total),
+                            model_dot_dmodel=model_dot,
+                            dmodel_norm_sq=dmodel_norm,
+                            dmodel_dot_y=dmodel_y,
+                        )
                     )
-                )
+                else:
+                    gamma = 0.0
                 gammas.append(gamma)
                 shared += gamma * dshared_total
-                for rank, conn in enumerate(pipes):
-                    conn.send(gamma)
+                for rank in active:
+                    # a lost update folds gamma = 0 so the child reverts and
+                    # stays consistent with the broadcast shared vector
+                    g = gamma if rank in arrived_ranks else 0.0
+                    pipes[rank].send(g)
                     weights_by_rank[rank] = (
-                        weights_by_rank[rank] + gamma * dweights_by_rank[rank]
+                        weights_by_rank[rank] + g * dweights_by_rank[rank]
                     )
                 ledger.add("compute_host", max_worker_s)
                 if epoch % monitor_every == 0 or epoch == n_epochs:
@@ -300,6 +361,7 @@ class MpDistributedSCD:
             partitions=parts,
             solver_name=self.name,
             gammas=gammas,
+            fault_report=report,
         )
 
     def _assemble(self, parts, weights_by_rank, problem) -> np.ndarray:

@@ -33,6 +33,13 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..cluster.comm import SimCommunicator
+from ..cluster.faults import (
+    FaultInjector,
+    FaultReport,
+    FaultSpec,
+    WorkerEpochFaults,
+    make_fault_injector,
+)
 from ..cluster.partition import random_partition
 from ..metrics import ConvergenceHistory, ConvergenceRecord
 from ..objectives.ridge import RidgeProblem
@@ -74,6 +81,9 @@ class _WorkerState:
     epoch_compute_s: float
     perm: np.ndarray | None = None
     cursor: int = 0
+    #: update computed last epoch but delayed in transit (stale-update fault);
+    #: delivered to the next aggregation round
+    stale_buffer: tuple[np.ndarray, np.ndarray] | None = None
 
     def next_coords(self, count: int) -> np.ndarray:
         """The next ``count`` local coordinates of the permutation stream.
@@ -107,6 +117,8 @@ class DistributedTrainResult:
     partitions: list[np.ndarray]
     solver_name: str
     gammas: list[float]
+    #: populated when a :class:`FaultInjector` was installed, else ``None``
+    fault_report: FaultReport | None = None
 
 
 class DistributedSCD:
@@ -146,6 +158,16 @@ class DistributedSCD:
         [23], which the paper points to as future tuning.  With
         ``round_fraction < 1`` each history "epoch" is one aggregation
         round.
+    faults:
+        Optional fault injection: a :class:`FaultInjector`, a
+        :class:`FaultSpec`, or a scenario name from
+        :data:`~repro.cluster.faults.SCENARIOS`.  When set, each epoch
+        proceeds with the K' <= K update vectors that actually arrive and
+        the aggregation parameter (including the adaptive gamma* of Eq. 7)
+        is recomputed over the survivors; retry, timeout and straggler wait
+        time are booked into the ledger's ``comm_retry`` /
+        ``wait_straggler`` phases.  A zero-rate injector is a bit-identical
+        no-op.  See ``docs/fault_model.md``.
     """
 
     def __init__(
@@ -163,6 +185,7 @@ class DistributedSCD:
         partitioner: Callable[[int, int, np.random.Generator], Sequence[np.ndarray]]
         | None = None,
         round_fraction: float = 1.0,
+        faults: FaultInjector | FaultSpec | str | None = None,
     ) -> None:
         if formulation not in ("primal", "dual"):
             raise ValueError(f"unknown formulation {formulation!r}")
@@ -188,6 +211,7 @@ class DistributedSCD:
         self.seed = int(seed)
         self.partitioner = partitioner or random_partition
         self.round_fraction = float(round_fraction)
+        self.faults = make_fault_injector(faults)
         self._solver_label: str = ""
 
     @property
@@ -298,18 +322,54 @@ class DistributedSCD:
             )
         )
 
+        injector = self.faults
+        report = FaultReport() if injector is not None else None
+        benign = WorkerEpochFaults()
+        retry = self.comm.retry
+
         sim_time = 0.0
         updates = 0
         for epoch in range(1, n_epochs + 1):
+            plan = (
+                injector.plan_epoch(epoch, self.n_workers)
+                if injector is not None
+                else None
+            )
+            if report is not None:
+                report.epochs += 1
             dshared_parts: list[np.ndarray] = []
-            pending_dweights: list[np.ndarray] = []
+            pending_folds: list[tuple[_WorkerState, np.ndarray]] = []
             model_dot_dmodel = 0.0
             dmodel_norm_sq = 0.0
             dmodel_dot_y = 0.0
             max_compute = 0.0
+            fault_free_compute = 0.0
+            retry_s = 0.0
+            any_computed = False
             compute_component = "compute_host"
 
-            for wk in workers:
+            def deliver(wk: _WorkerState, dshared_part, dweights) -> None:
+                """One arrived update vector joins this round's aggregation."""
+                nonlocal model_dot_dmodel, dmodel_norm_sq, dmodel_dot_y
+                dshared_parts.append(dshared_part)
+                pending_folds.append((wk, dweights))
+                w64 = wk.weights.astype(np.float64)
+                model_dot_dmodel += float(w64 @ dweights)
+                dmodel_norm_sq += float(dweights @ dweights)
+                if self.formulation == "dual":
+                    dmodel_dot_y += float(dweights @ wk.y_local.astype(np.float64))
+
+            for rank, wk in enumerate(workers):
+                wf = plan[rank] if plan is not None else benign
+                if wk.stale_buffer is not None:
+                    # last epoch's delayed update arrives now and is folded
+                    # with this round's gamma
+                    sb_dshared, sb_dweights = wk.stale_buffer
+                    wk.stale_buffer = None
+                    deliver(wk, sb_dshared, sb_dweights)
+                if wf.dropout:
+                    report.dropouts += 1
+                    continue
                 local_shared = shared.astype(wk.bound.dtype)
                 weights_work = wk.weights.copy()
                 n_round = max(
@@ -318,47 +378,79 @@ class DistributedSCD:
                 perm = wk.next_coords(n_round)
                 wk.bound.run_epoch(weights_work, local_shared, perm, wk.rng)
                 dweights = (weights_work - wk.weights).astype(np.float64)
-                dshared_parts.append(local_shared.astype(np.float64) - shared)
-                pending_dweights.append(dweights)
-                w64 = wk.weights.astype(np.float64)
-                model_dot_dmodel += float(w64 @ dweights)
-                dmodel_norm_sq += float(dweights @ dweights)
-                if self.formulation == "dual":
-                    dmodel_dot_y += float(dweights @ wk.y_local.astype(np.float64))
+                dshared_part = local_shared.astype(np.float64) - shared
+                compute_s = wk.epoch_compute_s * self.round_fraction
+                fault_free_compute = max(fault_free_compute, compute_s)
                 max_compute = max(
-                    max_compute, wk.epoch_compute_s * self.round_fraction
+                    max_compute, compute_s * wf.straggler_multiplier
                 )
                 compute_component = wk.bound.timing.component
                 updates += perm.shape[0]
+                any_computed = True
+                if report is not None:
+                    if wf.straggler_multiplier > 1.0:
+                        report.stragglers += 1
+                    report.transient_failures += (
+                        wf.send_failures + wf.recv_failures
+                    )
+                retry_s += self.comm.retry_seconds(comm_bytes, wf.send_failures)
+                retry_s += self.comm.retry_seconds(comm_bytes, wf.recv_failures)
+                exhausted = retry.exhausted(wf.send_failures)
+                if wf.drop_update or exhausted:
+                    # the update vector never reached the master; the worker
+                    # discards its local work to stay consistent with the
+                    # broadcast shared vector
+                    report.dropped_updates += 1
+                    if exhausted:
+                        report.retry_exhausted += 1
+                    continue
+                if wf.stale_update:
+                    wk.stale_buffer = (dshared_part, dweights)
+                    report.stale_updates += 1
+                    continue
+                deliver(wk, dshared_part, dweights)
 
-            dshared = self.comm.reduce_sum(dshared_parts)
-            if self.formulation == "primal":
-                resid_dot = float((shared - problem.y.astype(np.float64)) @ dshared)
+            n_arrived = len(pending_folds)
+            if report is not None:
+                report.survivor_counts.append(n_arrived)
+            if n_arrived:
+                dshared = self.comm.reduce_sum_partial(dshared_parts, like=shared)
+                if self.formulation == "primal":
+                    resid_dot = float(
+                        (shared - problem.y.astype(np.float64)) @ dshared
+                    )
+                else:
+                    resid_dot = float(shared @ dshared)
+                stats = AggregationStats(
+                    formulation=self.formulation,
+                    n=problem.n,
+                    lam=problem.lam,
+                    n_workers=n_arrived,
+                    resid_dot_dshared=resid_dot,
+                    dshared_norm_sq=float(dshared @ dshared),
+                    model_dot_dmodel=model_dot_dmodel,
+                    dmodel_norm_sq=dmodel_norm_sq,
+                    dmodel_dot_y=dmodel_dot_y,
+                )
+                gamma = self.aggregator.gamma(stats)
+                shared += gamma * dshared
+                for wk, dw in pending_folds:
+                    wk.weights = (
+                        wk.weights.astype(np.float64) + gamma * dw
+                    ).astype(wk.bound.dtype)
             else:
-                resid_dot = float(shared @ dshared)
-            stats = AggregationStats(
-                formulation=self.formulation,
-                n=problem.n,
-                lam=problem.lam,
-                n_workers=self.n_workers,
-                resid_dot_dshared=resid_dot,
-                dshared_norm_sq=float(dshared @ dshared),
-                model_dot_dmodel=model_dot_dmodel,
-                dmodel_norm_sq=dmodel_norm_sq,
-                dmodel_dot_y=dmodel_dot_y,
-            )
-            gamma = self.aggregator.gamma(stats)
+                # nothing arrived (every update lost or every worker out):
+                # the shared vector stands and training proceeds next epoch
+                gamma = 0.0
             gammas.append(gamma)
-            shared += gamma * dshared
-            for wk, dw in zip(workers, pending_dweights):
-                wk.weights = (
-                    wk.weights.astype(np.float64) + gamma * dw
-                ).astype(wk.bound.dtype)
 
             # -- time accounting --------------------------------------------
-            ledger.add(compute_component, max_compute)
+            ledger.add(compute_component, fault_free_compute)
             epoch_time = max_compute
-            if self.pcie is not None:
+            straggler_wait = max_compute - fault_free_compute
+            if straggler_wait > 0.0:
+                ledger.add("wait_straggler", straggler_wait)
+            if self.pcie is not None and any_computed:
                 pcie_s = 2.0 * self.pcie.transfer_seconds(4 * paper_shared)
                 host_s = self.host_model.epoch_seconds(paper_shared)
                 ledger.add("comm_pcie", pcie_s)
@@ -370,12 +462,17 @@ class DistributedSCD:
                 + self.comm.scalars_seconds(self.aggregator.n_extra_scalars)
             )
             ledger.add("comm_network", net_s)
-            epoch_time += net_s
+            if retry_s > 0.0:
+                ledger.add("comm_retry", retry_s)
+            epoch_time += net_s + retry_s
             sim_time += epoch_time
 
             if epoch % monitor_every == 0 or epoch == n_epochs:
                 weights = self._global_weights(workers, problem)
                 gap, obj = self._gap(weights, problem)
+                extras = {"gamma": gamma}
+                if injector is not None:
+                    extras["survivors"] = float(n_arrived)
                 history.append(
                     ConvergenceRecord(
                         epoch=epoch,
@@ -384,7 +481,7 @@ class DistributedSCD:
                         sim_time=sim_time,
                         wall_time=time.perf_counter() - t0,
                         updates=updates,
-                        extras={"gamma": gamma},
+                        extras=extras,
                     )
                 )
                 if target_gap is not None and gap <= target_gap:
@@ -400,4 +497,5 @@ class DistributedSCD:
             partitions=[wk.coords for wk in workers],
             solver_name=self.name,
             gammas=gammas,
+            fault_report=report,
         )

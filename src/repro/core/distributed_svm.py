@@ -19,6 +19,13 @@ import time
 import numpy as np
 
 from ..cluster.comm import SimCommunicator
+from ..cluster.faults import (
+    FaultInjector,
+    FaultReport,
+    FaultSpec,
+    WorkerEpochFaults,
+    make_fault_injector,
+)
 from ..cluster.partition import random_partition
 from ..cpu import XEON_8C, CpuSpec, SequentialCpuTiming
 from ..metrics import ConvergenceHistory, ConvergenceRecord
@@ -47,6 +54,7 @@ class DistributedSvm:
         spec: CpuSpec = XEON_8C,
         paper_scale: PaperScale | None = None,
         seed: int = 0,
+        faults: FaultInjector | FaultSpec | str | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -62,6 +70,9 @@ class DistributedSvm:
         self.spec = spec
         self.paper_scale = paper_scale
         self.seed = int(seed)
+        self.faults = make_fault_injector(faults)
+        #: populated by :meth:`solve` when fault injection is active
+        self.fault_report: FaultReport | None = None
         self.name = f"DistributedSVM[x{self.n_workers}, sigma'={sigma_prime:g}]"
 
     def solve(
@@ -82,7 +93,6 @@ class DistributedSvm:
         parts = random_partition(problem.n, self.n_workers, rng)
         y = problem.y.astype(np.float64)
         inv_lam_n = 1.0 / (problem.lam * problem.n)
-        gamma = self.sigma_prime / self.n_workers
 
         workers = []
         for rank, rows in enumerate(parts):
@@ -126,12 +136,30 @@ class DistributedSvm:
                 epoch=0, gap=gap, objective=obj, sim_time=0.0, wall_time=0.0, updates=0
             )
         )
+        injector = self.faults
+        report = FaultReport() if injector is not None else None
+        self.fault_report = report
+        benign = WorkerEpochFaults()
+
         sim = 0.0
         updates = 0
         for epoch in range(1, n_epochs + 1):
-            dw_total = np.zeros(problem.m)
+            plan = (
+                injector.plan_epoch(epoch, self.n_workers)
+                if injector is not None
+                else None
+            )
+            if report is not None:
+                report.epochs += 1
+            arrived: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
             max_compute = 0.0
-            for wk in workers:
+            fault_free_compute = 0.0
+            retry_s = 0.0
+            for rank, wk in enumerate(workers):
+                wf = plan[rank] if plan is not None else benign
+                if wf.dropout:
+                    report.dropouts += 1
+                    continue
                 local_w = w.copy()
                 indptr, indices, data = wk["indptr"], wk["indices"], wk["data"]
                 alpha, y_loc, norms = wk["alpha"], wk["y"], wk["norms"]
@@ -156,12 +184,6 @@ class DistributedSvm:
                         alpha[i] = new_a
                         if lo != hi:
                             local_w[idx] += v * (d * y_loc[i] * inv_lam_n)
-                dw_total += local_w - w
-                # scale the local dual variables to stay consistent with the
-                # gamma-scaled global update
-                if gamma != 1.0:
-                    alpha -= (1.0 - gamma) * pending
-                    np.clip(alpha, 0.0, 1.0, out=alpha)
                 wl = EpochWorkload(
                     n_coords=alpha.shape[0]
                     if self.paper_scale is None
@@ -171,12 +193,55 @@ class DistributedSvm:
                     else max(1, self.paper_scale.nnz // self.n_workers),
                     shared_len=problem.m,
                 )
-                max_compute = max(max_compute, timing.epoch_seconds(wl))
+                compute_s = timing.epoch_seconds(wl)
+                fault_free_compute = max(fault_free_compute, compute_s)
+                max_compute = max(
+                    max_compute, compute_s * wf.straggler_multiplier
+                )
                 updates += alpha.shape[0]
+                if report is not None:
+                    if wf.straggler_multiplier > 1.0:
+                        report.stragglers += 1
+                    report.transient_failures += (
+                        wf.send_failures + wf.recv_failures
+                    )
+                retry_s += self.comm.retry_seconds(shared_bytes, wf.send_failures)
+                retry_s += self.comm.retry_seconds(shared_bytes, wf.recv_failures)
+                lost = (
+                    wf.drop_update
+                    or wf.stale_update  # SDCA keeps no stale buffer: lost
+                    or self.comm.retry.exhausted(wf.send_failures)
+                )
+                if lost:
+                    report.dropped_updates += 1
+                    # the master never saw this delta; revert the local dual
+                    # variables so they stay consistent with w
+                    alpha -= pending
+                    continue
+                arrived.append((local_w - w, pending, alpha))
+
+            n_arrived = len(arrived)
+            if report is not None:
+                report.survivor_counts.append(n_arrived)
+            # CoCoA's gamma = sigma'/K, rescaled over the K' survivors
+            gamma = self.sigma_prime / n_arrived if n_arrived else 0.0
+            dw_total = np.zeros(problem.m)
+            for dw, pending, alpha_ref in arrived:
+                dw_total += dw
+                # scale the local dual variables to stay consistent with the
+                # gamma-scaled global update
+                if gamma != 1.0:
+                    alpha_ref -= (1.0 - gamma) * pending
+                    np.clip(alpha_ref, 0.0, 1.0, out=alpha_ref)
             w += gamma * dw_total
-            ledger.add("compute_host", max_compute)
+            ledger.add("compute_host", fault_free_compute)
+            straggler_wait = max_compute - fault_free_compute
+            if straggler_wait > 0.0:
+                ledger.add("wait_straggler", straggler_wait)
             ledger.add("comm_network", per_epoch_net)
-            sim += max_compute + per_epoch_net
+            if retry_s > 0.0:
+                ledger.add("comm_retry", retry_s)
+            sim += max_compute + per_epoch_net + retry_s
             if epoch % monitor_every == 0 or epoch == n_epochs:
                 gap, obj = gap_of()
                 history.append(

@@ -55,9 +55,14 @@ def load_libsvm(
                 continue
             parts = line.split()
             try:
-                labels.append(float(parts[0]))
+                label = float(parts[0])
             except ValueError as exc:
                 raise ValueError(f"line {line_no + 1}: bad label {parts[0]!r}") from exc
+            if not np.isfinite(label):
+                raise ValueError(
+                    f"line {line_no + 1}: non-finite label {parts[0]!r}"
+                )
+            labels.append(label)
             i = len(labels) - 1
             for tok in parts[1:]:
                 try:
@@ -71,6 +76,10 @@ def load_libsvm(
                 if idx < 1:
                     raise ValueError(
                         f"line {line_no + 1}: LibSVM indices are 1-based, got {idx}"
+                    )
+                if not np.isfinite(val):
+                    raise ValueError(
+                        f"line {line_no + 1}: non-finite value in token {tok!r}"
                     )
                 rows.append(i)
                 cols.append(idx - 1)

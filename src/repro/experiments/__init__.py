@@ -35,6 +35,12 @@ from .distributed_figs import (
     run_fig5,
     run_fig6,
 )
+from .faults import (
+    FAULT_SCENARIOS,
+    run_fault_breakdown,
+    run_fault_tolerance,
+    scenario_table,
+)
 from .gpu_cluster import run_fig8, run_fig9
 from .headline import PAPER_SPEEDUPS, run_headline
 from .large_scale import run_fig10
@@ -71,6 +77,8 @@ ALL_EXPERIMENTS = {
     "ext-glm-gpu": run_glm_gpu,
     "ext-batch-vs-stochastic": run_batch_vs_stochastic,
     "ext-weak-scaling": run_weak_scaling,
+    "ext-fault-tolerance": run_fault_tolerance,
+    "ext-fault-breakdown": run_fault_breakdown,
 }
 
 __all__ = [
@@ -113,4 +121,8 @@ __all__ = [
     "run_glm_gpu",
     "run_batch_vs_stochastic",
     "run_weak_scaling",
+    "FAULT_SCENARIOS",
+    "run_fault_tolerance",
+    "run_fault_breakdown",
+    "scenario_table",
 ]

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..core.distributed import DistributedSCD
 from ..gpu.spec import GTX_TITAN_X, QUADRO_M4000, GpuSpec
-from ..perf.ledger import COMPONENTS
+from ..perf.ledger import COMPONENTS, FAULT_COMPONENTS
 from ..perf.link import ETHERNET_10G, PCIE3_X16_PINNED, Link
 from .config import (
     ScaleConfig,
@@ -36,6 +36,8 @@ COMPONENT_LABELS = {
     "compute_host": "Comp. Time (Host)",
     "comm_pcie": "Comm. Time (PCIe)",
     "comm_network": "Comm. Time (Network)",
+    "comm_retry": "Comm. Time (Retry)",
+    "wait_straggler": "Wait Time (Straggler)",
 }
 
 
@@ -152,11 +154,14 @@ def run_fig9(scale: ScaleConfig | None = None) -> FigureResult:
         breakdowns[k] = res.ledger.breakdown()
     ks = np.asarray(WORKER_COUNTS, dtype=float)
     for comp in COMPONENTS:
+        ys = np.asarray([breakdowns[k][comp] for k in WORKER_COUNTS])
+        if comp in FAULT_COMPONENTS and not ys.any():
+            continue  # fault-free run: keep the paper's four-phase stack
         fig.add(
             CurveSeries(
                 label=COMPONENT_LABELS[comp],
                 x=ks,
-                y=np.asarray([breakdowns[k][comp] for k in WORKER_COUNTS]),
+                y=ys,
                 x_name="workers",
                 y_name="time(s)",
                 meta={"component": comp},

@@ -5,16 +5,33 @@ compute, host compute, PCIe transfer and network communication.  Every
 modelled phase in this library books its seconds into a :class:`TimeLedger`
 under one of those component names so the breakdown figure falls out of the
 ledger directly.
+
+Fault-aware runs book two further phases on top of the paper's four:
+``comm_retry`` (timeouts, backoff and retransmissions of failed transfers)
+and ``wait_straggler`` (barrier time spent waiting for slowed workers beyond
+the fault-free critical path), so a Fig. 9-style breakdown directly shows
+the overhead a fault scenario adds.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
-__all__ = ["TimeLedger", "COMPONENTS"]
+__all__ = ["TimeLedger", "COMPONENTS", "FAULT_COMPONENTS"]
 
-#: canonical component names, in the stacking order of the paper's Fig. 9
-COMPONENTS = ("compute_gpu", "compute_host", "comm_pcie", "comm_network")
+#: canonical component names: the paper's Fig. 9 stacking order, followed by
+#: the fault-overhead phases introduced by the chaos testbed
+COMPONENTS = (
+    "compute_gpu",
+    "compute_host",
+    "comm_pcie",
+    "comm_network",
+    "comm_retry",
+    "wait_straggler",
+)
+
+#: the subset of :data:`COMPONENTS` that only fault injection can populate
+FAULT_COMPONENTS = ("comm_retry", "wait_straggler")
 
 
 class TimeLedger:
@@ -34,6 +51,10 @@ class TimeLedger:
     @property
     def total(self) -> float:
         return sum(self._seconds.values())
+
+    def fault_seconds(self) -> float:
+        """Total modelled time attributable to injected faults."""
+        return sum(self._seconds.get(c, 0.0) for c in FAULT_COMPONENTS)
 
     def breakdown(self) -> dict[str, float]:
         """Return a copy of the per-component totals (canonical order first)."""

@@ -1,0 +1,454 @@
+"""Chaos suite for the fault-injection layer (`repro.cluster.faults`).
+
+Three layers of guarantees are pinned down here:
+
+1. the injector itself is seeded and deterministic — replaying any epoch
+   yields the identical fault plan, and a zero-rate injector never draws;
+2. installing a zero-rate injector is a *bit-identical* no-op on every
+   distributed engine (the seeded-determinism regression);
+3. under real fault scenarios (stragglers, lossy links, worker dropout,
+   full chaos) the survivor-rescaled aggregation keeps the duality gap
+   decreasing in trend, the shared vector stays consistent with the
+   global weights, and the ledger books the retry/straggler overhead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import (
+    DEFAULT_RETRY,
+    SCENARIOS,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    WorkerEpochFaults,
+    make_fault_injector,
+)
+from repro.core import DistributedSCD
+from repro.core.distributed_svm import DistributedSvm
+from repro.data import make_webspam_like
+from repro.objectives import RidgeProblem
+from repro.objectives.svm import SvmProblem
+from repro.solvers.scd import SequentialKernelFactory
+
+
+def _engine(formulation, k, agg="adaptive", faults=None, **kw):
+    return DistributedSCD(
+        SequentialKernelFactory(),
+        formulation,
+        n_workers=k,
+        aggregation=agg,
+        seed=7,
+        faults=faults,
+        **kw,
+    )
+
+
+def _shared_from_weights(res, problem):
+    """Recompute what the shared vector *should* be from the global weights."""
+    if res.formulation == "primal":
+        return problem.shared_vector(res.weights)
+    return problem.dual_shared_vector(res.weights)
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_zero_failures_cost_nothing(self):
+        assert DEFAULT_RETRY.penalty_seconds(0, 1.0) == 0.0
+
+    def test_penalty_monotone_in_failures(self):
+        p = RetryPolicy(timeout_s=0.1, backoff_base_s=0.01, max_retries=5)
+        costs = [p.penalty_seconds(n, 0.02) for n in range(6)]
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+
+    def test_penalty_capped_at_max_retries(self):
+        p = RetryPolicy(max_retries=3)
+        assert p.penalty_seconds(10, 0.5) == p.penalty_seconds(3, 0.5)
+
+    def test_backoff_is_geometric(self):
+        p = RetryPolicy(
+            timeout_s=0.0, backoff_base_s=1.0, backoff_factor=2.0, max_retries=4
+        )
+        # 1 + 2 + 4 seconds of backoff, zero timeout/transfer
+        assert p.penalty_seconds(3, 0.0) == pytest.approx(7.0)
+
+    def test_exhaustion_boundary(self):
+        p = RetryPolicy(max_retries=3)
+        assert not p.exhausted(3)
+        assert p.exhausted(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(timeout_s=-1.0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+
+# ---------------------------------------------------------------------------
+# fault specs and the named scenarios
+# ---------------------------------------------------------------------------
+class TestFaultSpec:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            FaultSpec(drop_rate=1.5)
+        with pytest.raises(ValueError, match="straggler_multiplier"):
+            FaultSpec(straggler_multiplier=0.5)
+
+    def test_is_null(self):
+        assert FaultSpec().is_null
+        assert not FaultSpec(dropout_rate=0.1).is_null
+
+    def test_with_seed_only_changes_seed(self):
+        s = SCENARIOS["chaos"].with_seed(99)
+        assert s.seed == 99
+        assert s.straggler_rate == SCENARIOS["chaos"].straggler_rate
+
+    def test_named_scenarios_cover_the_taxonomy(self):
+        for name in ("none", "straggler-only", "lossy-link", "worker-dropout",
+                     "straggler-drop", "chaos"):
+            assert name in SCENARIOS
+        assert SCENARIOS["none"].is_null
+        assert SCENARIOS["worker-dropout"].dropout_rate > 0
+        assert SCENARIOS["lossy-link"].send_failure_rate > 0
+
+
+class TestFaultInjector:
+    def test_plan_is_deterministic_across_instances(self):
+        a = FaultInjector(SCENARIOS["chaos"])
+        b = FaultInjector(SCENARIOS["chaos"])
+        for epoch in (1, 2, 17):
+            assert a.plan_epoch(epoch, 8) == b.plan_epoch(epoch, 8)
+
+    def test_plan_is_stateless_in_epoch(self):
+        """Requesting epoch 5 cold equals requesting it after 1..4."""
+        warm = FaultInjector(SCENARIOS["chaos"])
+        for epoch in range(1, 5):
+            warm.plan_epoch(epoch, 4)
+        cold = FaultInjector(SCENARIOS["chaos"])
+        assert cold.plan_epoch(5, 4) == warm.plan_epoch(5, 4)
+
+    def test_seed_changes_the_schedule(self):
+        a = FaultInjector(SCENARIOS["chaos"])
+        b = FaultInjector(SCENARIOS["chaos"].with_seed(1))
+        plans_differ = any(
+            a.plan_epoch(e, 8) != b.plan_epoch(e, 8) for e in range(1, 10)
+        )
+        assert plans_differ
+
+    def test_null_plan_is_all_benign(self):
+        plan = FaultInjector(FaultSpec()).plan_epoch(3, 5)
+        assert len(plan) == 5
+        assert all(wf.benign for wf in plan)
+
+    def test_dropout_excludes_other_faults(self):
+        inj = FaultInjector(FaultSpec(dropout_rate=1.0, drop_rate=1.0,
+                                      straggler_rate=1.0))
+        for wf in inj.plan_epoch(1, 6):
+            assert wf.dropout
+            assert not wf.drop_update
+            assert wf.straggler_multiplier == 1.0
+
+    def test_consecutive_failures_capped(self):
+        inj = FaultInjector(
+            FaultSpec(send_failure_rate=1.0, max_consecutive_failures=5)
+        )
+        for wf in inj.plan_epoch(1, 4):
+            assert wf.send_failures == 5
+
+    def test_drop_and_stale_mutually_exclusive(self):
+        inj = FaultInjector(FaultSpec(drop_rate=1.0, stale_rate=1.0))
+        for wf in inj.plan_epoch(1, 8):
+            assert wf.drop_update and not wf.stale_update
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            FaultInjector(FaultSpec()).plan_epoch(1, 0)
+
+    def test_benign_default(self):
+        assert WorkerEpochFaults().benign
+        assert not WorkerEpochFaults(straggler_multiplier=2.0).benign
+
+
+class TestMakeFaultInjector:
+    def test_none_passthrough(self):
+        assert make_fault_injector(None) is None
+
+    def test_injector_passthrough(self):
+        inj = FaultInjector(SCENARIOS["chaos"])
+        assert make_fault_injector(inj) is inj
+
+    def test_spec_wrapped(self):
+        spec = FaultSpec(drop_rate=0.1)
+        assert make_fault_injector(spec).spec is spec
+
+    def test_scenario_name_and_seed(self):
+        inj = make_fault_injector("lossy-link", seed=42)
+        assert inj.spec.seed == 42
+        assert inj.spec.send_failure_rate == SCENARIOS["lossy-link"].send_failure_rate
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown fault scenario"):
+            make_fault_injector("meteor-strike")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            make_fault_injector(3.14)
+
+
+# ---------------------------------------------------------------------------
+# zero-rate injector is a bit-identical no-op (seeded-determinism regression)
+# ---------------------------------------------------------------------------
+class TestZeroRateBitIdentical:
+    @pytest.mark.parametrize("formulation", ["primal", "dual"])
+    @pytest.mark.parametrize("agg", ["averaging", "adaptive"])
+    def test_gap_history_identical(self, ridge_sparse, formulation, agg):
+        bare = _engine(formulation, 4, agg).solve(ridge_sparse, 6)
+        nulled = _engine(formulation, 4, agg, faults=FaultSpec()).solve(
+            ridge_sparse, 6
+        )
+        assert np.array_equal(bare.history.gaps, nulled.history.gaps)
+        assert bare.gammas == nulled.gammas
+        assert np.array_equal(bare.weights, nulled.weights)
+        assert np.array_equal(bare.shared, nulled.shared)
+
+    def test_scenario_none_identical(self, ridge_sparse):
+        bare = _engine("dual", 4).solve(ridge_sparse, 6)
+        nulled = _engine("dual", 4, faults="none").solve(ridge_sparse, 6)
+        assert np.array_equal(bare.history.gaps, nulled.history.gaps)
+
+    def test_zero_rate_report_is_clean(self, ridge_sparse):
+        res = _engine("dual", 4, faults=FaultSpec()).solve(ridge_sparse, 4)
+        assert res.fault_report is not None
+        assert not res.fault_report.any_faults
+        assert res.fault_report.survivor_counts == [4] * 4
+        assert res.ledger.fault_seconds() == 0.0
+
+    def test_no_injector_no_report(self, ridge_sparse):
+        res = _engine("dual", 2).solve(ridge_sparse, 2)
+        assert res.fault_report is None
+
+    def test_same_seed_same_chaos_run(self, ridge_sparse):
+        """Full determinism regression: chaos twice, bit-for-bit equal."""
+        runs = [
+            _engine("dual", 4, faults=make_fault_injector("chaos", seed=11)).solve(
+                ridge_sparse, 10
+            )
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].history.gaps, runs[1].history.gaps)
+        assert runs[0].gammas == runs[1].gammas
+        assert np.array_equal(runs[0].weights, runs[1].weights)
+        assert runs[0].fault_report.note() == runs[1].fault_report.note()
+
+
+# ---------------------------------------------------------------------------
+# chaos scenarios: convergence survives the fault model
+# ---------------------------------------------------------------------------
+def _trend_decreasing(gaps, slack=5.0):
+    """Gap may wiggle but never blow past ``slack`` times its running min."""
+    running = gaps[0]
+    for g in gaps[1:]:
+        if g > slack * running + 1e-15:
+            return False
+        running = min(running, g)
+    return True
+
+
+class TestChaosScenarios:
+    @pytest.mark.parametrize(
+        "scenario", ["straggler-only", "lossy-link", "worker-dropout", "chaos"]
+    )
+    def test_gap_decreases_in_trend(self, ridge_sparse, scenario):
+        res = _engine(
+            "dual", 4, faults=make_fault_injector(scenario, seed=11)
+        ).solve(ridge_sparse, 24)
+        gaps = np.asarray(res.history.gaps)
+        assert _trend_decreasing(gaps)
+        assert res.history.final_gap() < 1e-2 * gaps[0]
+
+    def test_straggler_only_is_time_only(self, ridge_sparse):
+        """Stragglers change wall-clock, never math: gaps match fault-free."""
+        base = _engine("dual", 4).solve(ridge_sparse, 10)
+        slow = _engine(
+            "dual", 4, faults=make_fault_injector("straggler-only", seed=11)
+        ).solve(ridge_sparse, 10)
+        assert np.array_equal(base.history.gaps, slow.history.gaps)
+        assert slow.ledger.get("wait_straggler") > 0.0
+        assert slow.history.records[-1].sim_time > base.history.records[-1].sim_time
+
+    def test_lossy_link_books_retry_time(self, ridge_sparse):
+        res = _engine(
+            "dual", 4, faults=make_fault_injector("lossy-link", seed=11)
+        ).solve(ridge_sparse, 12)
+        assert res.fault_report.transient_failures > 0
+        assert res.ledger.get("comm_retry") > 0.0
+
+    def test_worker_dropout_reduces_survivors(self, ridge_sparse):
+        res = _engine(
+            "dual", 4, faults=make_fault_injector("worker-dropout", seed=11)
+        ).solve(ridge_sparse, 16)
+        assert res.fault_report.dropouts > 0
+        assert min(res.fault_report.survivor_counts) < 4
+        survivors = [
+            r.extras["survivors"] for r in res.history.records if r.epoch > 0
+        ]
+        assert survivors == [float(c) for c in res.fault_report.survivor_counts]
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec(drop_rate=0.3, seed=5),
+            FaultSpec(stale_rate=0.4, seed=5),
+            FaultSpec(dropout_rate=0.3, seed=5),
+        ],
+        ids=["drop", "stale", "dropout"],
+    )
+    @pytest.mark.parametrize("formulation", ["primal", "dual"])
+    def test_shared_stays_consistent_with_weights(
+        self, ridge_sparse, formulation, spec
+    ):
+        """The degraded-mode invariant: whatever subset of updates is applied,
+        the broadcast shared vector must remain the exact linear image of the
+        global weights — otherwise workers silently optimize a stale view."""
+        res = _engine(formulation, 4, faults=spec).solve(ridge_sparse, 10)
+        expected = _shared_from_weights(res, ridge_sparse)
+        np.testing.assert_allclose(res.shared, expected, atol=1e-10)
+
+    def test_stale_updates_eventually_delivered(self, ridge_sparse):
+        res = _engine(
+            "dual", 4, faults=FaultSpec(stale_rate=0.5, seed=3)
+        ).solve(ridge_sparse, 12)
+        assert res.fault_report.stale_updates > 0
+        assert _trend_decreasing(np.asarray(res.history.gaps))
+
+
+# ---------------------------------------------------------------------------
+# survivor-rescaled aggregation
+# ---------------------------------------------------------------------------
+class TestSurvivorRescaling:
+    def test_averaging_gamma_is_one_over_survivors(self, ridge_sparse):
+        res = _engine(
+            "dual", 4, agg="averaging",
+            faults=FaultSpec(dropout_rate=0.4, seed=2),
+        ).solve(ridge_sparse, 8)
+        assert res.fault_report.dropouts > 0
+        for gamma, k_prime in zip(res.gammas, res.fault_report.survivor_counts):
+            if k_prime > 0:
+                assert gamma == pytest.approx(1.0 / k_prime)
+            else:
+                assert gamma == 0.0
+
+    def test_all_updates_dropped_is_a_stall_not_a_crash(self, ridge_sparse):
+        res = _engine(
+            "dual", 3, faults=FaultSpec(drop_rate=1.0)
+        ).solve(ridge_sparse, 4)
+        assert res.gammas == [0.0] * 4
+        assert np.all(res.weights == 0.0)
+        assert np.all(res.shared == 0.0)
+        gaps = res.history.gaps
+        assert all(g == gaps[0] for g in gaps)
+        assert res.fault_report.dropped_updates == 3 * 4
+
+    def test_retry_exhaustion_escalates_to_drop(self, ridge_sparse):
+        spec = FaultSpec(send_failure_rate=1.0, max_consecutive_failures=5)
+        res = _engine("dual", 2, faults=spec).solve(ridge_sparse, 3)
+        # 5 consecutive failures > max_retries=3: every update is lost
+        assert res.fault_report.retry_exhausted == 2 * 3
+        assert res.fault_report.dropped_updates == 2 * 3
+        assert res.gammas == [0.0] * 3
+
+
+# ---------------------------------------------------------------------------
+# the documented acceptance scenario (see docs/fault_model.md)
+# ---------------------------------------------------------------------------
+class TestAcceptanceScenario:
+    def test_straggler_drop_still_reaches_3e_minus_3(self):
+        """ISSUE acceptance: K=8 on the webspam-like default under the
+        'straggler-drop' scenario (seed 42) still reaches gap <= 3e-3 while
+        the ledger reports nonzero retry and straggler phases."""
+        from repro.experiments.config import webspam_problem
+        from repro.experiments.faults import FAULT_SEED
+
+        problem, _ = webspam_problem()
+        res = _engine(
+            "dual", 8,
+            faults=make_fault_injector("straggler-drop", seed=FAULT_SEED),
+        ).solve(problem, 30)
+        assert res.history.final_gap() <= 3e-3
+        assert res.ledger.get("comm_retry") > 0.0
+        assert res.ledger.get("wait_straggler") > 0.0
+        assert res.ledger.fault_seconds() == pytest.approx(
+            res.ledger.get("comm_retry") + res.ledger.get("wait_straggler")
+        )
+        assert res.fault_report.dropped_updates > 0
+
+
+# ---------------------------------------------------------------------------
+# the real-multiprocessing backend honours the functional fault plan
+# ---------------------------------------------------------------------------
+class TestMpFaults:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        ds = make_webspam_like(250, 500, nnz_per_example=12, seed=3)
+        return RidgeProblem(ds, lam=5e-3)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec(dropout_rate=0.4, seed=2),
+            FaultSpec(drop_rate=0.4, seed=2),
+        ],
+        ids=["dropout", "drop"],
+    )
+    def test_mp_matches_simulation_under_faults(self, problem, spec):
+        from repro.cluster.mp_cluster import MpDistributedSCD
+
+        mp_res = MpDistributedSCD(
+            "dual", n_workers=2, aggregation="adaptive", seed=7, faults=spec
+        ).solve(problem, 4)
+        sim_res = _engine("dual", 2, faults=spec).solve(problem, 4)
+        assert mp_res.fault_report.dropouts == sim_res.fault_report.dropouts
+        assert np.allclose(mp_res.gammas, sim_res.gammas, rtol=1e-10)
+        assert np.allclose(mp_res.weights, sim_res.weights, atol=1e-12)
+        assert np.allclose(mp_res.shared, sim_res.shared, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# the SVM engine shares the fault semantics
+# ---------------------------------------------------------------------------
+class TestDistributedSvmFaults:
+    @pytest.fixture(scope="class")
+    def svm_problem(self):
+        ds = make_webspam_like(200, 400, nnz_per_example=12, seed=6)
+        return SvmProblem(ds, lam=1e-2)
+
+    def test_zero_rate_bit_identical(self, svm_problem):
+        bare = DistributedSvm(n_workers=4, seed=3)
+        w0, a0, h0, _ = bare.solve(svm_problem, 6)
+        nulled = DistributedSvm(n_workers=4, seed=3, faults=FaultSpec())
+        w1, a1, h1, _ = nulled.solve(svm_problem, 6)
+        assert np.array_equal(w0, w1)
+        assert np.array_equal(a0, a1)
+        assert np.array_equal(h0.gaps, h1.gaps)
+        assert not nulled.fault_report.any_faults
+
+    def test_chaos_still_converges(self, svm_problem):
+        eng = DistributedSvm(
+            n_workers=4, seed=3, faults=make_fault_injector("chaos", seed=11)
+        )
+        w, alpha, hist, ledger = eng.solve(svm_problem, 20)
+        assert eng.fault_report.any_faults
+        gaps = np.asarray(hist.gaps)
+        assert hist.final_gap() < 0.2 * gaps[0]
+        assert np.allclose(w, svm_problem.weights_from_alpha(alpha), atol=1e-10)
+
+    def test_all_dropped_leaves_model_at_zero(self, svm_problem):
+        eng = DistributedSvm(n_workers=3, seed=3, faults=FaultSpec(drop_rate=1.0))
+        w, alpha, _, _ = eng.solve(svm_problem, 3)
+        assert np.all(w == 0.0)
+        assert np.all(alpha == 0.0)
+        assert eng.fault_report.dropped_updates == 3 * 3

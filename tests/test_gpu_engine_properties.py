@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) for the TPA-SCD block arithmetic.
+
+`block_tree_dots` emulates Algorithm 2's thread-block inner product: lanes
+accumulate strided partial sums, then a shared-memory tree reduction folds
+them.  The properties pinned here:
+
+* the fp32 result stays within an fp32 rounding bound of the fp64
+  reference dot product, for arbitrary segment lengths and every
+  ``n_threads`` in {1, 2, 4, ..., 64};
+* the fp64 mode agrees with the reference to fp64 rounding, independent
+  of the thread count (the tree changes rounding *order* only);
+* with one lane the "tree" degenerates to a left-to-right running sum,
+  reproduced bit for bit;
+* the ``wave_size=1`` TPA-SCD solver walks the same per-epoch trajectory
+  as `SequentialSCD` (identical permutation stream and update rule; the
+  only divergence is BLAS-dot vs lane-accumulation rounding, a few ULPs
+  per coordinate).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tpa_scd import TpaScdKernelFactory
+from repro.gpu import GTX_TITAN_X, GpuDevice, block_tree_dots
+from repro.solvers import SequentialSCD
+from repro.solvers.base import ScdSolver
+
+#: every thread-block width the engine supports in practice
+THREAD_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+_FP32_EPS = float(np.finfo(np.float32).eps)
+
+
+@st.composite
+def waves(draw):
+    """One wave: concatenated factor pairs plus segment pointers.
+
+    Segment lengths are arbitrary (including empty) and deliberately not
+    aligned to any thread count.
+    """
+    n_coords = draw(st.integers(min_value=0, max_value=6))
+    lengths = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=40),
+            min_size=n_coords,
+            max_size=n_coords,
+        )
+    )
+    total = int(sum(lengths))
+    elems = st.floats(
+        min_value=-8.0, max_value=8.0, allow_nan=False, allow_infinity=False
+    )
+    vals = np.asarray(
+        draw(st.lists(elems, min_size=total, max_size=total)), dtype=np.float64
+    )
+    gathered = np.asarray(
+        draw(st.lists(elems, min_size=total, max_size=total)), dtype=np.float64
+    )
+    seg_ptr = np.zeros(n_coords + 1, dtype=np.int64)
+    np.cumsum(lengths, out=seg_ptr[1:])
+    return vals, gathered, seg_ptr
+
+
+def _reference_dots(vals, gathered, seg_ptr):
+    """Per-segment fp64 dot products, the ground truth."""
+    return np.asarray(
+        [
+            float(
+                vals[a:b].astype(np.float64) @ gathered[a:b].astype(np.float64)
+            )
+            for a, b in zip(seg_ptr[:-1], seg_ptr[1:])
+        ]
+    )
+
+
+@given(waves())
+@settings(max_examples=80, deadline=None)
+def test_fp32_within_rounding_bound_of_fp64_reference(wave):
+    vals64, gath64, seg_ptr = wave
+    vals32 = vals64.astype(np.float32)
+    gath32 = gath64.astype(np.float32)
+    expected = _reference_dots(vals32, gath32, seg_ptr)
+    lengths = np.diff(seg_ptr)
+    # worst-case fp32 accumulation error: ~len * eps * sum(|products|),
+    # with generous headroom for the cast of each factor pair
+    abs_prods = np.abs(vals32.astype(np.float64) * gath32.astype(np.float64))
+    sums = np.add.reduceat(
+        np.concatenate([abs_prods, [0.0]]), seg_ptr[:-1]
+    ) * (lengths > 0)
+    tol = 8.0 * _FP32_EPS * (lengths + 4) * (sums + 1.0)
+    for n_threads in THREAD_COUNTS:
+        dots = block_tree_dots(vals32, gath32, seg_ptr, n_threads)
+        assert dots.dtype == np.float32
+        assert dots.shape == expected.shape
+        assert np.all(np.abs(dots.astype(np.float64) - expected) <= tol)
+
+
+@given(waves(), st.sampled_from(THREAD_COUNTS))
+@settings(max_examples=80, deadline=None)
+def test_fp64_matches_reference_for_any_thread_count(wave, n_threads):
+    vals, gathered, seg_ptr = wave
+    expected = _reference_dots(vals, gathered, seg_ptr)
+    dots = block_tree_dots(vals, gathered, seg_ptr, n_threads, dtype=np.float64)
+    assert np.all(
+        np.abs(dots - expected) <= 1e-12 * (1.0 + np.abs(expected))
+    )
+
+
+@given(waves())
+@settings(max_examples=60, deadline=None)
+def test_thread_counts_agree_in_fp64(wave):
+    """The tree only reorders the sum: fp64 results are thread-count
+    independent up to fp64 rounding."""
+    vals, gathered, seg_ptr = wave
+    results = [
+        block_tree_dots(vals, gathered, seg_ptr, t, dtype=np.float64)
+        for t in THREAD_COUNTS
+    ]
+    for other in results[1:]:
+        np.testing.assert_allclose(
+            other, results[0], rtol=1e-12, atol=1e-10
+        )
+
+
+@given(waves())
+@settings(max_examples=60, deadline=None)
+def test_single_lane_is_left_to_right_sum_bit_for_bit(wave):
+    """n_threads=1 degenerates to one thread's running sum — exactly."""
+    vals, gathered, seg_ptr = wave
+    dots = block_tree_dots(vals, gathered, seg_ptr, 1, dtype=np.float64)
+    prods = vals * gathered
+    for k, (a, b) in enumerate(zip(seg_ptr[:-1], seg_ptr[1:])):
+        acc = 0.0
+        for j in range(a, b):
+            acc += prods[j]
+        assert dots[k] == acc
+
+
+@given(
+    st.lists(st.sampled_from([-1.0, 1.0]), min_size=0, max_size=50),
+    st.sampled_from(THREAD_COUNTS),
+)
+@settings(max_examples=60, deadline=None)
+def test_signed_unit_products_exact_in_fp32(signs, n_threads):
+    """Small-integer sums are exactly representable: no rounding allowed,
+    whatever the lane assignment."""
+    vals = np.asarray(signs, dtype=np.float32)
+    ones = np.ones_like(vals)
+    seg_ptr = np.array([0, vals.shape[0]], dtype=np.int64)
+    dots = block_tree_dots(vals, ones, seg_ptr, n_threads)
+    assert dots[0] == np.float64(sum(signs))
+
+
+class TestWaveOneMatchesSequential:
+    """wave_size=1 TPA-SCD processes one coordinate per wave with no
+    staleness — exactly Algorithm 1.  In fp64 the per-epoch trajectories
+    coincide with `SequentialSCD` down to dot-product rounding order."""
+
+    @pytest.mark.parametrize("formulation", ["primal", "dual"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_per_epoch_trajectory_matches(self, ridge_sparse, formulation, seed):
+        factory = TpaScdKernelFactory(
+            GpuDevice(GTX_TITAN_X), wave_size=1, n_threads=1, dtype=np.float64
+        )
+        tpa = ScdSolver(factory, formulation, seed=seed).solve(
+            ridge_sparse, 4, monitor_every=1
+        )
+        seq = SequentialSCD(formulation, seed=seed).solve(
+            ridge_sparse, 4, monitor_every=1
+        )
+        assert [r.epoch for r in tpa.history.records] == [
+            r.epoch for r in seq.history.records
+        ]
+        assert [r.updates for r in tpa.history.records] == [
+            r.updates for r in seq.history.records
+        ]
+        np.testing.assert_allclose(tpa.weights, seq.weights, rtol=0, atol=1e-12)
+        for a, b in zip(tpa.history.gaps, seq.history.gaps):
+            assert a == pytest.approx(b, rel=1e-6, abs=1e-12)
+
+    def test_same_seed_same_tpa_run_bit_identical(self, ridge_sparse):
+        """TPA-SCD itself is seeded-deterministic, bit for bit."""
+        runs = [
+            ScdSolver(
+                TpaScdKernelFactory(GpuDevice(GTX_TITAN_X), wave_size=1),
+                "dual",
+                seed=5,
+            ).solve(ridge_sparse, 4, monitor_every=1)
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].weights, runs[1].weights)
+        assert np.array_equal(runs[0].history.gaps, runs[1].history.gaps)

@@ -70,3 +70,77 @@ class TestParsing:
         path = tmp_path / "mydata.svm"
         path.write_text("1 1:1\n")
         assert load_libsvm(path).name == "mydata.svm"
+
+
+class TestEdgeCases:
+    """Round-trip edge cases: empty rows, whitespace junk, explicit zeros."""
+
+    def test_empty_file(self):
+        ds = load_libsvm(io.StringIO(""))
+        assert ds.n_examples == 0
+        assert ds.n_features == 0
+
+    def test_all_rows_empty(self):
+        ds = load_libsvm(io.StringIO("1.0\n-1.0\n"), n_features=5)
+        assert ds.n_examples == 2
+        assert ds.n_features == 5
+        assert ds.csr.nnz == 0
+        assert np.array_equal(ds.y, [1.0, -1.0])
+
+    def test_empty_rows_roundtrip(self):
+        ds = load_libsvm(io.StringIO("2.0\n1.0 1:1\n-3\n"), n_features=3)
+        buf = io.StringIO()
+        save_libsvm(ds, buf)
+        buf.seek(0)
+        again = load_libsvm(buf, n_features=3)
+        assert again.n_examples == 3
+        assert np.array_equal(again.y, ds.y)
+        assert np.array_equal(again.csr.to_dense(), ds.csr.to_dense())
+
+    def test_trailing_whitespace_and_crlf(self):
+        text = "1.0 1:2.5  \r\n-1 2:1.0\t\r\n  \n"
+        ds = load_libsvm(io.StringIO(text))
+        assert ds.n_examples == 2
+        dense = ds.csr.to_dense()
+        assert dense[0, 0] == 2.5
+        assert dense[1, 1] == 1.0
+
+    def test_explicit_zero_values_roundtrip(self):
+        """A stored zero is a legal LibSVM token; the dense content must
+        survive the round trip even though nnz counts the stored entry."""
+        ds = load_libsvm(io.StringIO("1.0 1:0 3:5\n"))
+        assert np.array_equal(ds.csr.to_dense(), [[0.0, 0.0, 5.0]])
+        buf = io.StringIO()
+        save_libsvm(ds, buf)
+        buf.seek(0)
+        again = load_libsvm(buf, n_features=3)
+        assert np.array_equal(again.csr.to_dense(), ds.csr.to_dense())
+
+    def test_duplicate_indices_summed(self):
+        ds = load_libsvm(io.StringIO("1.0 2:1.5 2:2.0\n"))
+        assert np.array_equal(ds.csr.to_dense(), [[0.0, 3.5]])
+
+    def test_scientific_notation_values(self):
+        ds = load_libsvm(io.StringIO("-1e0 1:2.5e-3 2:+1E2\n"))
+        assert ds.y[0] == -1.0
+        assert np.allclose(ds.csr.to_dense(), [[2.5e-3, 100.0]])
+
+    def test_non_finite_value_rejected(self):
+        with pytest.raises(ValueError, match="non-finite value"):
+            load_libsvm(io.StringIO("1.0 1:nan\n"))
+        with pytest.raises(ValueError, match="non-finite value"):
+            load_libsvm(io.StringIO("1.0 1:inf\n"))
+
+    def test_non_finite_label_rejected(self):
+        with pytest.raises(ValueError, match="non-finite label"):
+            load_libsvm(io.StringIO("nan 1:1.0\n"))
+
+    def test_save_empty_dataset_roundtrip(self):
+        ds = load_libsvm(io.StringIO(""), n_features=4)
+        buf = io.StringIO()
+        save_libsvm(ds, buf)
+        assert buf.getvalue() == ""
+        buf.seek(0)
+        again = load_libsvm(buf, n_features=4)
+        assert again.n_examples == 0
+        assert again.n_features == 4
