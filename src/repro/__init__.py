@@ -9,6 +9,7 @@ the full substrates (``repro.sparse``, ``repro.gpu``, ``repro.cluster``,
 ``repro.experiments``, ...).
 """
 
+from .api import SolverConfig, train
 from .core import (
     CRITEO_PAPER,
     WEBSPAM_PAPER,
@@ -16,8 +17,10 @@ from .core import (
     AddingAggregator,
     AveragingAggregator,
     DistributedSCD,
+    DistributedSvm,
     DistributedTrainResult,
     PaperScale,
+    SvmTrainResult,
     TpaScd,
     TpaScdKernelFactory,
     scaled_wave_size,
@@ -33,6 +36,14 @@ from .data import (
     train_test_split,
 )
 from .metrics import ConvergenceHistory, ConvergenceRecord, speedup
+from .obs import (
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    active_tracer,
+    use_tracer,
+)
+from .perf.ledger import TimeLedger
 from .objectives import (
     ElasticNetProblem,
     LogisticProblem,
@@ -56,6 +67,16 @@ from .solvers import (
 __version__ = "1.0.0"
 
 __all__ = [
+    # unified estimator API
+    "train",
+    "SolverConfig",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "use_tracer",
+    "active_tracer",
+    "TimeLedger",
     # data
     "Dataset",
     "load_libsvm",
@@ -92,6 +113,8 @@ __all__ = [
     "scaled_wave_size",
     "DistributedSCD",
     "DistributedTrainResult",
+    "DistributedSvm",
+    "SvmTrainResult",
     "AveragingAggregator",
     "AddingAggregator",
     "AdaptiveAggregator",

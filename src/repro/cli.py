@@ -5,6 +5,8 @@ Usage::
     python -m repro list                      # all experiment ids
     python -m repro run fig2                  # regenerate one figure
     python -m repro run fig2 --scale full     # at the larger scale
+    python -m repro run fig2 --json           # machine-readable series dump
+    python -m repro trace fig2 --scale tiny   # Chrome-trace + metrics export
     python -m repro info                      # paper + substitution summary
     python -m repro faults                    # named fault-injection scenarios
 """
@@ -12,7 +14,9 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from . import __version__
@@ -77,7 +81,71 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with --plot: only series whose label contains this substring",
     )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the figure as JSON (schema repro.run/v1) instead of text",
+    )
+    run.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="with --json: write to PATH instead of stdout",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment under the tracer and export Chrome-trace "
+        "JSON, a metrics dump, and an ASCII flame summary",
+    )
+    trace.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS))
+    trace.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="dataset scale (default: REPRO_SCALE or 'quick')",
+    )
+    trace.add_argument(
+        "--out-dir",
+        default="traces",
+        metavar="DIR",
+        help="directory for <exp>-<scale>.trace.json / .metrics.json",
+    )
+    trace.add_argument(
+        "--detail",
+        choices=["epoch", "wave"],
+        default="epoch",
+        help="span granularity: per-epoch (default) or per-GPU-wave",
+    )
     return parser
+
+
+def _cmd_trace(args) -> int:
+    from .experiments import active_scale
+    from .obs import (
+        Tracer,
+        flame_summary,
+        use_tracer,
+        write_chrome_trace,
+        write_metrics_json,
+    )
+
+    scale = SCALES[args.scale] if args.scale else active_scale()
+    tracer = Tracer(detail=args.detail)
+    with use_tracer(tracer):
+        fig = ALL_EXPERIMENTS[args.experiment](scale)
+    out_dir = Path(args.out_dir)
+    stem = f"{args.experiment}-{scale.name}"
+    trace_path = out_dir / f"{stem}.trace.json"
+    metrics_path = out_dir / f"{stem}.metrics.json"
+    write_chrome_trace(tracer, trace_path)
+    write_metrics_json(tracer, metrics_path)
+    print(flame_summary(tracer))
+    print()
+    print(f"figure:  {fig.figure_id}: {fig.title}")
+    print(f"trace:   {trace_path}")
+    print(f"metrics: {metrics_path}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -97,10 +165,28 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             print(scenario_table())
             return 0
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "run":
             scale = SCALES[args.scale] if args.scale else None
             fig = ALL_EXPERIMENTS[args.experiment](scale)
-            if args.plot:
+            if args.json:
+                payload = {
+                    "schema": "repro.run/v1",
+                    "version": __version__,
+                    "experiment": args.experiment,
+                    "scale": scale.name if scale else None,
+                    "figure": fig.to_dict(),
+                }
+                text = json.dumps(payload, indent=2)
+                if args.out:
+                    out = Path(args.out)
+                    out.parent.mkdir(parents=True, exist_ok=True)
+                    out.write_text(text + "\n")
+                    print(f"wrote {out}")
+                else:
+                    print(text)
+            elif args.plot:
                 from .experiments.ascii_plot import ascii_plot
 
                 print(ascii_plot(fig, label_filter=args.series))

@@ -42,6 +42,7 @@ class SimCommunicator:
         *,
         algorithm: str = "tree",
         retry: RetryPolicy = DEFAULT_RETRY,
+        metrics=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -51,13 +52,16 @@ class SimCommunicator:
         self.link = link
         self.algorithm = algorithm
         self.retry = retry
+        #: optional :class:`~repro.obs.MetricsRegistry` booking collective
+        #: calls/bytes; installed per-run by the distributed engines
+        self.metrics = metrics
 
     # -- cost model -----------------------------------------------------------
     def _rounds(self) -> int:
         return math.ceil(math.log2(self.n_workers)) if self.n_workers > 1 else 0
 
-    def reduce_seconds(self, nbytes: int | float) -> float:
-        """Modelled time to reduce a payload of ``nbytes`` onto the master.
+    def _collective_seconds(self, nbytes: int | float) -> float:
+        """Shared Reduce/Bcast pricing (metrics-free; see public methods).
 
         ``tree``: Open MPI's binomial tree — ``ceil(log2 K)`` full-payload
         rounds.  ``ring``: the bandwidth-optimal reduce-scatter half of a
@@ -72,12 +76,22 @@ class SimCommunicator:
         per_step = self.link.transfer_seconds(nbytes / k)
         return (k - 1) * per_step
 
+    def reduce_seconds(self, nbytes: int | float) -> float:
+        """Modelled time to reduce a payload of ``nbytes`` onto the master."""
+        if self.metrics is not None:
+            self.metrics.inc("comm.reduce_calls")
+            self.metrics.inc("comm.bytes_reduced", float(nbytes))
+        return self._collective_seconds(nbytes)
+
     def bcast_seconds(self, nbytes: int | float) -> float:
         """Modelled time to broadcast ``nbytes`` from the master.
 
         Ring mode prices the allgather half of a ring allreduce.
         """
-        return self.reduce_seconds(nbytes)
+        if self.metrics is not None:
+            self.metrics.inc("comm.bcast_calls")
+            self.metrics.inc("comm.bytes_broadcast", float(nbytes))
+        return self._collective_seconds(nbytes)
 
     def allreduce_seconds(self, nbytes: int | float) -> float:
         """Reduce followed by broadcast (the paper's aggregation round)."""
@@ -102,9 +116,13 @@ class SimCommunicator:
         """
         if n_failures <= 0 or self.n_workers == 1:
             return 0.0
-        return self.retry.penalty_seconds(
+        seconds = self.retry.penalty_seconds(
             n_failures, self.link.transfer_seconds(nbytes)
         )
+        if self.metrics is not None:
+            self.metrics.inc("comm.retry_failures", int(n_failures))
+            self.metrics.inc("comm.retry_seconds", seconds)
+        return seconds
 
     # -- functional collectives --------------------------------------------------
     def reduce_sum(self, contributions: Sequence[np.ndarray]) -> np.ndarray:

@@ -287,6 +287,19 @@ class FaultReport:
             + self.transient_failures
         ) > 0
 
+    def record_to(self, metrics) -> None:
+        """Fold this report's totals into a :class:`~repro.obs.MetricsRegistry`."""
+        if metrics is None:
+            return
+        metrics.inc("faults.dropouts", self.dropouts)
+        metrics.inc("faults.stragglers", self.stragglers)
+        metrics.inc("faults.dropped_updates", self.dropped_updates)
+        metrics.inc("faults.retry_exhausted", self.retry_exhausted)
+        metrics.inc("faults.stale_updates", self.stale_updates)
+        metrics.inc("faults.transient_failures", self.transient_failures)
+        for k in self.survivor_counts:
+            metrics.observe("faults.survivors", k)
+
     def note(self) -> str:
         return (
             f"{self.dropouts} dropouts, {self.stragglers} straggler epochs, "

@@ -38,7 +38,7 @@ from ..core.aggregation import AggregationStats, make_aggregator
 from ..core.distributed import DistributedTrainResult
 from ..metrics import ConvergenceHistory, ConvergenceRecord
 from ..objectives.ridge import RidgeProblem
-from ..perf.ledger import TimeLedger
+from ..obs import resolve_tracer
 from ..solvers.kernels import dual_epoch_sequential, primal_epoch_sequential
 from .faults import (
     DEFAULT_RETRY,
@@ -201,19 +201,26 @@ class MpDistributedSCD:
         *,
         monitor_every: int = 1,
         target_gap: float | None = None,
+        tracer=None,
     ) -> DistributedTrainResult:
         if n_epochs < 0:
             raise ValueError("n_epochs must be non-negative")
         if monitor_every < 1:
             raise ValueError("monitor_every must be >= 1")
+        tracer = resolve_tracer(tracer)
         parts = self._partitions(problem)
         payloads = self._payloads(problem, parts)
         shared_len = problem.n if self.formulation == "primal" else problem.m
         shared = np.zeros(shared_len)
         weights_by_rank = [np.zeros(p.shape[0]) for p in parts]
         history = ConvergenceHistory(label=self.name)
-        ledger = TimeLedger()
+        ledger = tracer.open_ledger()
         gammas: list[float] = []
+        root_span = tracer.span(
+            "mp.train", category="driver", solver=self.name,
+            n_workers=self.n_workers, n_epochs=n_epochs,
+        )
+        root_span.__enter__()
 
         pipes = []
         procs = []
@@ -230,7 +237,8 @@ class MpDistributedSCD:
 
             t0 = time.perf_counter()
             weights = self._assemble(parts, weights_by_rank, problem)
-            gap, obj = self._gap(weights, problem)
+            with tracer.span("gap_eval", category="monitor", epoch=0):
+                gap, obj = self._gap(weights, problem)
             history.append(
                 ConvergenceRecord(
                     epoch=0, gap=gap, objective=obj,
@@ -241,6 +249,8 @@ class MpDistributedSCD:
             report = FaultReport() if self.faults is not None else None
             benign = WorkerEpochFaults()
             for epoch in range(1, n_epochs + 1):
+                epoch_span = tracer.span("epoch", category="driver", epoch=epoch)
+                epoch_span.__enter__()
                 plan = (
                     self.faults.plan_epoch(epoch, self.n_workers)
                     if self.faults is not None
@@ -323,9 +333,14 @@ class MpDistributedSCD:
                         weights_by_rank[rank] + g * dweights_by_rank[rank]
                     )
                 ledger.add("compute_host", max_worker_s)
+                epoch_span.__exit__(None, None, None)
+                tracer.count("dist.epochs")
+                tracer.observe("dist.gamma", gamma)
+                tracer.observe("dist.survivors", n_arrived)
                 if epoch % monitor_every == 0 or epoch == n_epochs:
                     weights = self._assemble(parts, weights_by_rank, problem)
-                    gap, obj = self._gap(weights, problem)
+                    with tracer.span("gap_eval", category="monitor", epoch=epoch):
+                        gap, obj = self._gap(weights, problem)
                     history.append(
                         ConvergenceRecord(
                             epoch=epoch,
@@ -351,7 +366,10 @@ class MpDistributedSCD:
                 if proc.is_alive():  # pragma: no cover - hung child guard
                     proc.terminate()
 
+        root_span.__exit__(None, None, None)
         weights = self._assemble(parts, weights_by_rank, problem)
+        if tracer.enabled and report is not None:
+            report.record_to(tracer.metrics)
         return DistributedTrainResult(
             formulation=self.formulation,
             weights=weights,
@@ -362,6 +380,8 @@ class MpDistributedSCD:
             solver_name=self.name,
             gammas=gammas,
             fault_report=report,
+            trace=tracer if tracer.enabled else None,
+            metrics=tracer.metrics if tracer.enabled else None,
         )
 
     def _assemble(self, parts, weights_by_rank, problem) -> np.ndarray:

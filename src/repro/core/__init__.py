@@ -16,7 +16,7 @@ from .aggregation import (
 )
 from .async_ps import AsyncParameterServer
 from .distributed import DistributedSCD, DistributedTrainResult, HostModel
-from .distributed_svm import DistributedSvm
+from .distributed_svm import DistributedSvm, SvmTrainResult
 from .glm_tpa import TpaElasticNet, TpaSvm
 from .planner import ClusterSpec, ExecutionPlan, plan_execution
 from .scale import CRITEO_PAPER, WEBSPAM_PAPER, PaperScale
@@ -35,6 +35,7 @@ __all__ = [
     "DistributedSCD",
     "DistributedSvm",
     "DistributedTrainResult",
+    "SvmTrainResult",
     "HostModel",
     "PaperScale",
     "WEBSPAM_PAPER",

@@ -43,9 +43,9 @@ from ..cluster.faults import (
 from ..cluster.partition import random_partition
 from ..metrics import ConvergenceHistory, ConvergenceRecord
 from ..objectives.ridge import RidgeProblem
-from ..perf.ledger import TimeLedger
+from ..obs import resolve_tracer
 from ..perf.link import Link
-from ..solvers.base import BoundKernel, KernelFactory
+from ..solvers.base import BoundKernel, KernelFactory, TrainResult
 from .aggregation import AggregationStats, Aggregator, make_aggregator
 from .scale import PaperScale
 
@@ -105,17 +105,11 @@ class _WorkerState:
         return np.concatenate(out) if len(out) > 1 else out[0]
 
 
-@dataclass
-class DistributedTrainResult:
-    """Outcome of a distributed run."""
+@dataclass(kw_only=True)
+class DistributedTrainResult(TrainResult):
+    """Outcome of a distributed run — the canonical shape plus cluster detail."""
 
-    formulation: str
-    weights: np.ndarray
-    shared: np.ndarray
-    history: ConvergenceHistory
-    ledger: TimeLedger
     partitions: list[np.ndarray]
-    solver_name: str
     gammas: list[float]
     #: populated when a :class:`FaultInjector` was installed, else ``None``
     fault_report: FaultReport | None = None
@@ -223,7 +217,9 @@ class DistributedSCD:
         )
 
     # -- setup -------------------------------------------------------------
-    def _build_workers(self, problem: RidgeProblem) -> list[_WorkerState]:
+    def _build_workers(
+        self, problem: RidgeProblem, tracer=None
+    ) -> list[_WorkerState]:
         rng = np.random.default_rng(self.seed)
         if self.formulation == "primal":
             matrix = problem.dataset.csc
@@ -237,6 +233,9 @@ class DistributedSCD:
         for rank, coords in enumerate(parts):
             local = matrix.take_major(coords)
             factory = self._factory_for(rank)
+            if tracer is not None and tracer.enabled:
+                # device factories forward the tracer to their wave engines
+                factory.tracer = tracer
             if self.paper_scale is not None:
                 factory.timing_workload = self.paper_scale.worker_workload(
                     self.formulation,
@@ -299,177 +298,251 @@ class DistributedSCD:
         *,
         monitor_every: int = 1,
         target_gap: float | None = None,
+        tracer=None,
     ) -> DistributedTrainResult:
         if n_epochs < 0:
             raise ValueError("n_epochs must be non-negative")
         if monitor_every < 1:
             raise ValueError("monitor_every must be >= 1")
-        workers = self._build_workers(problem)
-        shared_len = self._shared_len(problem)
-        shared = np.zeros(shared_len, dtype=np.float64)
-        history = ConvergenceHistory(label=self.name)
-        ledger = TimeLedger()
-        gammas: list[float] = []
-        comm_bytes = self._comm_shared_bytes(problem)
-        paper_shared = self._paper_shared_len(problem)
-        t0 = time.perf_counter()
+        tracer = resolve_tracer(tracer)
+        self.comm.metrics = tracer.metrics if tracer.enabled else None
+        span = tracer.span(
+            "distributed.train", category="driver", solver=self.name,
+            n_workers=self.n_workers, n_epochs=n_epochs,
+        )
+        with span:
+            with tracer.span("bind", category="driver"):
+                workers = self._build_workers(problem, tracer)
+            shared_len = self._shared_len(problem)
+            shared = np.zeros(shared_len, dtype=np.float64)
+            history = ConvergenceHistory(label=self.name)
+            ledger = tracer.open_ledger()
+            gammas: list[float] = []
+            comm_bytes = self._comm_shared_bytes(problem)
+            paper_shared = self._paper_shared_len(problem)
+            t0 = time.perf_counter()
+
+            weights = self._global_weights(workers, problem)
+            with tracer.span("gap_eval", category="monitor", epoch=0):
+                gap, obj = self._gap(weights, problem)
+            history.append(
+                ConvergenceRecord(
+                    epoch=0, gap=gap, objective=obj, sim_time=0.0,
+                    wall_time=0.0, updates=0,
+                )
+            )
+            self._run_epochs(
+                problem, workers, shared, history, ledger, gammas,
+                comm_bytes, paper_shared, t0, n_epochs, monitor_every,
+                target_gap, tracer,
+            )
 
         weights = self._global_weights(workers, problem)
-        gap, obj = self._gap(weights, problem)
-        history.append(
-            ConvergenceRecord(
-                epoch=0, gap=gap, objective=obj, sim_time=0.0, wall_time=0.0, updates=0
-            )
+        report = self._last_report
+        if tracer.enabled and report is not None:
+            report.record_to(tracer.metrics)
+        return DistributedTrainResult(
+            formulation=self.formulation,
+            weights=weights,
+            shared=shared,
+            history=history,
+            ledger=ledger,
+            partitions=[wk.coords for wk in workers],
+            solver_name=self.name,
+            gammas=gammas,
+            fault_report=report,
+            trace=tracer if tracer.enabled else None,
+            metrics=tracer.metrics if tracer.enabled else None,
         )
+
+    def _run_epochs(
+        self,
+        problem: RidgeProblem,
+        workers: list[_WorkerState],
+        shared: np.ndarray,
+        history: ConvergenceHistory,
+        ledger,
+        gammas: list[float],
+        comm_bytes: int,
+        paper_shared: int,
+        t0: float,
+        n_epochs: int,
+        monitor_every: int,
+        target_gap: float | None,
+        tracer,
+    ) -> None:
 
         injector = self.faults
         report = FaultReport() if injector is not None else None
+        self._last_report = report
         benign = WorkerEpochFaults()
         retry = self.comm.retry
 
         sim_time = 0.0
         updates = 0
         for epoch in range(1, n_epochs + 1):
-            plan = (
-                injector.plan_epoch(epoch, self.n_workers)
-                if injector is not None
-                else None
-            )
-            if report is not None:
-                report.epochs += 1
-            dshared_parts: list[np.ndarray] = []
-            pending_folds: list[tuple[_WorkerState, np.ndarray]] = []
-            model_dot_dmodel = 0.0
-            dmodel_norm_sq = 0.0
-            dmodel_dot_y = 0.0
-            max_compute = 0.0
-            fault_free_compute = 0.0
-            retry_s = 0.0
-            any_computed = False
-            compute_component = "compute_host"
-
-            def deliver(wk: _WorkerState, dshared_part, dweights) -> None:
-                """One arrived update vector joins this round's aggregation."""
-                nonlocal model_dot_dmodel, dmodel_norm_sq, dmodel_dot_y
-                dshared_parts.append(dshared_part)
-                pending_folds.append((wk, dweights))
-                w64 = wk.weights.astype(np.float64)
-                model_dot_dmodel += float(w64 @ dweights)
-                dmodel_norm_sq += float(dweights @ dweights)
-                if self.formulation == "dual":
-                    dmodel_dot_y += float(dweights @ wk.y_local.astype(np.float64))
-
-            for rank, wk in enumerate(workers):
-                wf = plan[rank] if plan is not None else benign
-                if wk.stale_buffer is not None:
-                    # last epoch's delayed update arrives now and is folded
-                    # with this round's gamma
-                    sb_dshared, sb_dweights = wk.stale_buffer
-                    wk.stale_buffer = None
-                    deliver(wk, sb_dshared, sb_dweights)
-                if wf.dropout:
-                    report.dropouts += 1
-                    continue
-                local_shared = shared.astype(wk.bound.dtype)
-                weights_work = wk.weights.copy()
-                n_round = max(
-                    1, int(round(self.round_fraction * wk.coords.shape[0]))
+            with tracer.span("epoch", category="driver", epoch=epoch):
+                plan = (
+                    injector.plan_epoch(epoch, self.n_workers)
+                    if injector is not None
+                    else None
                 )
-                perm = wk.next_coords(n_round)
-                wk.bound.run_epoch(weights_work, local_shared, perm, wk.rng)
-                dweights = (weights_work - wk.weights).astype(np.float64)
-                dshared_part = local_shared.astype(np.float64) - shared
-                compute_s = wk.epoch_compute_s * self.round_fraction
-                fault_free_compute = max(fault_free_compute, compute_s)
-                max_compute = max(
-                    max_compute, compute_s * wf.straggler_multiplier
-                )
-                compute_component = wk.bound.timing.component
-                updates += perm.shape[0]
-                any_computed = True
                 if report is not None:
-                    if wf.straggler_multiplier > 1.0:
-                        report.stragglers += 1
-                    report.transient_failures += (
-                        wf.send_failures + wf.recv_failures
-                    )
-                retry_s += self.comm.retry_seconds(comm_bytes, wf.send_failures)
-                retry_s += self.comm.retry_seconds(comm_bytes, wf.recv_failures)
-                exhausted = retry.exhausted(wf.send_failures)
-                if wf.drop_update or exhausted:
-                    # the update vector never reached the master; the worker
-                    # discards its local work to stay consistent with the
-                    # broadcast shared vector
-                    report.dropped_updates += 1
-                    if exhausted:
-                        report.retry_exhausted += 1
-                    continue
-                if wf.stale_update:
-                    wk.stale_buffer = (dshared_part, dweights)
-                    report.stale_updates += 1
-                    continue
-                deliver(wk, dshared_part, dweights)
+                    report.epochs += 1
+                dshared_parts: list[np.ndarray] = []
+                pending_folds: list[tuple[_WorkerState, np.ndarray]] = []
+                model_dot_dmodel = 0.0
+                dmodel_norm_sq = 0.0
+                dmodel_dot_y = 0.0
+                max_compute = 0.0
+                fault_free_compute = 0.0
+                retry_s = 0.0
+                any_computed = False
+                compute_component = "compute_host"
 
-            n_arrived = len(pending_folds)
-            if report is not None:
-                report.survivor_counts.append(n_arrived)
-            if n_arrived:
-                dshared = self.comm.reduce_sum_partial(dshared_parts, like=shared)
-                if self.formulation == "primal":
-                    resid_dot = float(
-                        (shared - problem.y.astype(np.float64)) @ dshared
-                    )
-                else:
-                    resid_dot = float(shared @ dshared)
-                stats = AggregationStats(
-                    formulation=self.formulation,
-                    n=problem.n,
-                    lam=problem.lam,
-                    n_workers=n_arrived,
-                    resid_dot_dshared=resid_dot,
-                    dshared_norm_sq=float(dshared @ dshared),
-                    model_dot_dmodel=model_dot_dmodel,
-                    dmodel_norm_sq=dmodel_norm_sq,
-                    dmodel_dot_y=dmodel_dot_y,
+                def deliver(wk: _WorkerState, dshared_part, dweights) -> None:
+                    """One arrived update vector joins this round's aggregation."""
+                    nonlocal model_dot_dmodel, dmodel_norm_sq, dmodel_dot_y
+                    dshared_parts.append(dshared_part)
+                    pending_folds.append((wk, dweights))
+                    w64 = wk.weights.astype(np.float64)
+                    model_dot_dmodel += float(w64 @ dweights)
+                    dmodel_norm_sq += float(dweights @ dweights)
+                    if self.formulation == "dual":
+                        dmodel_dot_y += float(
+                            dweights @ wk.y_local.astype(np.float64)
+                        )
+
+                with tracer.span(
+                    "local_compute", category="cluster", epoch=epoch
+                ):
+                    for rank, wk in enumerate(workers):
+                        wf = plan[rank] if plan is not None else benign
+                        if wk.stale_buffer is not None:
+                            # last epoch's delayed update arrives now and is
+                            # folded with this round's gamma
+                            sb_dshared, sb_dweights = wk.stale_buffer
+                            wk.stale_buffer = None
+                            deliver(wk, sb_dshared, sb_dweights)
+                        if wf.dropout:
+                            report.dropouts += 1
+                            continue
+                        local_shared = shared.astype(wk.bound.dtype)
+                        weights_work = wk.weights.copy()
+                        n_round = max(
+                            1, int(round(self.round_fraction * wk.coords.shape[0]))
+                        )
+                        perm = wk.next_coords(n_round)
+                        wk.bound.run_epoch(weights_work, local_shared, perm, wk.rng)
+                        dweights = (weights_work - wk.weights).astype(np.float64)
+                        dshared_part = local_shared.astype(np.float64) - shared
+                        compute_s = wk.epoch_compute_s * self.round_fraction
+                        fault_free_compute = max(fault_free_compute, compute_s)
+                        max_compute = max(
+                            max_compute, compute_s * wf.straggler_multiplier
+                        )
+                        compute_component = wk.bound.timing.component
+                        updates += perm.shape[0]
+                        any_computed = True
+                        if report is not None:
+                            if wf.straggler_multiplier > 1.0:
+                                report.stragglers += 1
+                            report.transient_failures += (
+                                wf.send_failures + wf.recv_failures
+                            )
+                        retry_s += self.comm.retry_seconds(
+                            comm_bytes, wf.send_failures
+                        )
+                        retry_s += self.comm.retry_seconds(
+                            comm_bytes, wf.recv_failures
+                        )
+                        exhausted = retry.exhausted(wf.send_failures)
+                        if wf.drop_update or exhausted:
+                            # the update vector never reached the master; the
+                            # worker discards its local work to stay consistent
+                            # with the broadcast shared vector
+                            report.dropped_updates += 1
+                            if exhausted:
+                                report.retry_exhausted += 1
+                            continue
+                        if wf.stale_update:
+                            wk.stale_buffer = (dshared_part, dweights)
+                            report.stale_updates += 1
+                            continue
+                        deliver(wk, dshared_part, dweights)
+
+                n_arrived = len(pending_folds)
+                if report is not None:
+                    report.survivor_counts.append(n_arrived)
+                with tracer.span(
+                    "aggregate", category="cluster",
+                    epoch=epoch, survivors=n_arrived,
+                ):
+                    if n_arrived:
+                        dshared = self.comm.reduce_sum_partial(
+                            dshared_parts, like=shared
+                        )
+                        if self.formulation == "primal":
+                            resid_dot = float(
+                                (shared - problem.y.astype(np.float64)) @ dshared
+                            )
+                        else:
+                            resid_dot = float(shared @ dshared)
+                        stats = AggregationStats(
+                            formulation=self.formulation,
+                            n=problem.n,
+                            lam=problem.lam,
+                            n_workers=n_arrived,
+                            resid_dot_dshared=resid_dot,
+                            dshared_norm_sq=float(dshared @ dshared),
+                            model_dot_dmodel=model_dot_dmodel,
+                            dmodel_norm_sq=dmodel_norm_sq,
+                            dmodel_dot_y=dmodel_dot_y,
+                        )
+                        gamma = self.aggregator.gamma(stats)
+                        shared += gamma * dshared
+                        for wk, dw in pending_folds:
+                            wk.weights = (
+                                wk.weights.astype(np.float64) + gamma * dw
+                            ).astype(wk.bound.dtype)
+                    else:
+                        # nothing arrived (every update lost or every worker
+                        # out): the shared vector stands and training proceeds
+                        # next epoch
+                        gamma = 0.0
+                gammas.append(gamma)
+
+                # -- time accounting ----------------------------------------
+                ledger.add(compute_component, fault_free_compute)
+                epoch_time = max_compute
+                straggler_wait = max_compute - fault_free_compute
+                if straggler_wait > 0.0:
+                    ledger.add("wait_straggler", straggler_wait)
+                    tracer.count("dist.straggler_wait_s", straggler_wait)
+                if self.pcie is not None and any_computed:
+                    pcie_s = 2.0 * self.pcie.transfer_seconds(4 * paper_shared)
+                    host_s = self.host_model.epoch_seconds(paper_shared)
+                    ledger.add("comm_pcie", pcie_s)
+                    ledger.add("compute_host", host_s)
+                    epoch_time += pcie_s + host_s
+                net_s = (
+                    self.comm.reduce_seconds(comm_bytes)
+                    + self.comm.bcast_seconds(comm_bytes)
+                    + self.comm.scalars_seconds(self.aggregator.n_extra_scalars)
                 )
-                gamma = self.aggregator.gamma(stats)
-                shared += gamma * dshared
-                for wk, dw in pending_folds:
-                    wk.weights = (
-                        wk.weights.astype(np.float64) + gamma * dw
-                    ).astype(wk.bound.dtype)
-            else:
-                # nothing arrived (every update lost or every worker out):
-                # the shared vector stands and training proceeds next epoch
-                gamma = 0.0
-            gammas.append(gamma)
+                ledger.add("comm_network", net_s)
+                if retry_s > 0.0:
+                    ledger.add("comm_retry", retry_s)
+                epoch_time += net_s + retry_s
+                sim_time += epoch_time
 
-            # -- time accounting --------------------------------------------
-            ledger.add(compute_component, fault_free_compute)
-            epoch_time = max_compute
-            straggler_wait = max_compute - fault_free_compute
-            if straggler_wait > 0.0:
-                ledger.add("wait_straggler", straggler_wait)
-            if self.pcie is not None and any_computed:
-                pcie_s = 2.0 * self.pcie.transfer_seconds(4 * paper_shared)
-                host_s = self.host_model.epoch_seconds(paper_shared)
-                ledger.add("comm_pcie", pcie_s)
-                ledger.add("compute_host", host_s)
-                epoch_time += pcie_s + host_s
-            net_s = (
-                self.comm.reduce_seconds(comm_bytes)
-                + self.comm.bcast_seconds(comm_bytes)
-                + self.comm.scalars_seconds(self.aggregator.n_extra_scalars)
-            )
-            ledger.add("comm_network", net_s)
-            if retry_s > 0.0:
-                ledger.add("comm_retry", retry_s)
-            epoch_time += net_s + retry_s
-            sim_time += epoch_time
-
+            tracer.count("dist.epochs")
+            tracer.observe("dist.gamma", gamma)
+            tracer.observe("dist.survivors", n_arrived)
             if epoch % monitor_every == 0 or epoch == n_epochs:
                 weights = self._global_weights(workers, problem)
-                gap, obj = self._gap(weights, problem)
+                with tracer.span("gap_eval", category="monitor", epoch=epoch):
+                    gap, obj = self._gap(weights, problem)
                 extras = {"gamma": gamma}
                 if injector is not None:
                     extras["survivors"] = float(n_arrived)
@@ -486,16 +559,3 @@ class DistributedSCD:
                 )
                 if target_gap is not None and gap <= target_gap:
                     break
-
-        weights = self._global_weights(workers, problem)
-        return DistributedTrainResult(
-            formulation=self.formulation,
-            weights=weights,
-            shared=shared,
-            history=history,
-            ledger=ledger,
-            partitions=[wk.coords for wk in workers],
-            solver_name=self.name,
-            gammas=gammas,
-            fault_report=report,
-        )

@@ -15,6 +15,8 @@ the CPU cost models and the binomial-tree communicator.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -30,12 +32,32 @@ from ..cluster.partition import random_partition
 from ..cpu import XEON_8C, CpuSpec, SequentialCpuTiming
 from ..metrics import ConvergenceHistory, ConvergenceRecord
 from ..objectives.svm import SvmProblem
-from ..perf.ledger import TimeLedger
+from ..obs import resolve_tracer
 from ..perf.link import Link
 from ..perf.timing import EpochWorkload
+from ..solvers.base import TrainResult
 from .scale import PaperScale
 
-__all__ = ["DistributedSvm"]
+__all__ = ["DistributedSvm", "SvmTrainResult"]
+
+
+@dataclass(kw_only=True)
+class SvmTrainResult(TrainResult):
+    """SVM outcome: the canonical shape plus the dual variables.
+
+    Iterating yields ``(w, alpha, history, ledger)`` so legacy
+    tuple-unpacking call sites keep working unchanged.
+    """
+
+    alpha: np.ndarray
+    fault_report: FaultReport | None = None
+
+    def primal_weights(self, problem=None) -> np.ndarray:
+        """The SVM's shared vector *is* the primal model."""
+        return self.weights
+
+    def __iter__(self) -> Iterator:
+        return iter((self.weights, self.alpha, self.history, self.ledger))
 
 
 class DistributedSvm:
@@ -82,12 +104,16 @@ class DistributedSvm:
         *,
         monitor_every: int = 1,
         target_gap: float | None = None,
-    ):
-        """Train; returns ``(w, alpha, history, ledger)``."""
+        tracer=None,
+    ) -> SvmTrainResult:
+        """Train; returns a :class:`SvmTrainResult` (iterable as the legacy
+        ``(w, alpha, history, ledger)`` tuple)."""
         if n_epochs < 0:
             raise ValueError("n_epochs must be non-negative")
         if monitor_every < 1:
             raise ValueError("monitor_every must be >= 1")
+        tracer = resolve_tracer(tracer)
+        self.comm.metrics = tracer.metrics if tracer.enabled else None
         rng = np.random.default_rng(self.seed)
         csr = problem.dataset.csr
         parts = random_partition(problem.n, self.n_workers, rng)
@@ -114,11 +140,10 @@ class DistributedSvm:
         shared_bytes = 4 * (
             self.paper_scale.n_features if self.paper_scale else problem.m
         )
-        per_epoch_net = self.comm.allreduce_seconds(shared_bytes)
         timing = SequentialCpuTiming(self.spec)
         w = np.zeros(problem.m)
         history = ConvergenceHistory(label=self.name)
-        ledger = TimeLedger()
+        ledger = tracer.open_ledger()
         t0 = time.perf_counter()
 
         def gap_of() -> tuple[float, float]:
@@ -130,7 +155,13 @@ class DistributedSvm:
                 problem.dual_objective(alpha_global),
             )
 
-        gap, obj = gap_of()
+        root_span = tracer.span(
+            "distributed.train", category="driver", solver=self.name,
+            n_workers=self.n_workers, n_epochs=n_epochs,
+        )
+        root_span.__enter__()
+        with tracer.span("gap_eval", category="monitor", epoch=0):
+            gap, obj = gap_of()
         history.append(
             ConvergenceRecord(
                 epoch=0, gap=gap, objective=obj, sim_time=0.0, wall_time=0.0, updates=0
@@ -144,6 +175,8 @@ class DistributedSvm:
         sim = 0.0
         updates = 0
         for epoch in range(1, n_epochs + 1):
+            epoch_span = tracer.span("epoch", category="driver", epoch=epoch)
+            epoch_span.__enter__()
             plan = (
                 injector.plan_epoch(epoch, self.n_workers)
                 if injector is not None
@@ -223,27 +256,37 @@ class DistributedSvm:
             n_arrived = len(arrived)
             if report is not None:
                 report.survivor_counts.append(n_arrived)
-            # CoCoA's gamma = sigma'/K, rescaled over the K' survivors
-            gamma = self.sigma_prime / n_arrived if n_arrived else 0.0
-            dw_total = np.zeros(problem.m)
-            for dw, pending, alpha_ref in arrived:
-                dw_total += dw
-                # scale the local dual variables to stay consistent with the
-                # gamma-scaled global update
-                if gamma != 1.0:
-                    alpha_ref -= (1.0 - gamma) * pending
-                    np.clip(alpha_ref, 0.0, 1.0, out=alpha_ref)
-            w += gamma * dw_total
+            with tracer.span(
+                "aggregate", category="cluster", epoch=epoch, survivors=n_arrived
+            ):
+                # CoCoA's gamma = sigma'/K, rescaled over the K' survivors
+                gamma = self.sigma_prime / n_arrived if n_arrived else 0.0
+                dw_total = np.zeros(problem.m)
+                for dw, pending, alpha_ref in arrived:
+                    dw_total += dw
+                    # scale the local dual variables to stay consistent with
+                    # the gamma-scaled global update
+                    if gamma != 1.0:
+                        alpha_ref -= (1.0 - gamma) * pending
+                        np.clip(alpha_ref, 0.0, 1.0, out=alpha_ref)
+                w += gamma * dw_total
+            per_epoch_net = self.comm.allreduce_seconds(shared_bytes)
             ledger.add("compute_host", fault_free_compute)
             straggler_wait = max_compute - fault_free_compute
             if straggler_wait > 0.0:
                 ledger.add("wait_straggler", straggler_wait)
+                tracer.count("dist.straggler_wait_s", straggler_wait)
             ledger.add("comm_network", per_epoch_net)
             if retry_s > 0.0:
                 ledger.add("comm_retry", retry_s)
             sim += max_compute + per_epoch_net + retry_s
+            epoch_span.__exit__(None, None, None)
+            tracer.count("dist.epochs")
+            tracer.observe("dist.gamma", gamma)
+            tracer.observe("dist.survivors", n_arrived)
             if epoch % monitor_every == 0 or epoch == n_epochs:
-                gap, obj = gap_of()
+                with tracer.span("gap_eval", category="monitor", epoch=epoch):
+                    gap, obj = gap_of()
                 history.append(
                     ConvergenceRecord(
                         epoch=epoch,
@@ -257,7 +300,21 @@ class DistributedSvm:
                 if target_gap is not None and gap <= target_gap:
                     break
 
+        root_span.__exit__(None, None, None)
         alpha_global = np.zeros(problem.n)
         for wk in workers:
             alpha_global[wk["rows"]] = wk["alpha"]
-        return w, alpha_global, history, ledger
+        if tracer.enabled and report is not None:
+            report.record_to(tracer.metrics)
+        return SvmTrainResult(
+            formulation="dual",
+            weights=w,
+            shared=w,
+            history=history,
+            solver_name=self.name,
+            ledger=ledger,
+            alpha=alpha_global,
+            fault_report=report,
+            trace=tracer if tracer.enabled else None,
+            metrics=tracer.metrics if tracer.enabled else None,
+        )

@@ -21,6 +21,7 @@ from ..gpu.timing import GpuTimingModel
 from ..metrics import ConvergenceHistory, ConvergenceRecord
 from ..objectives.elasticnet import ElasticNetProblem
 from ..objectives.svm import SvmProblem
+from ..obs import resolve_tracer
 from ..perf.timing import EpochWorkload
 
 __all__ = ["TpaElasticNet", "TpaSvm"]
@@ -82,12 +83,15 @@ class TpaElasticNet(_GlmTpaBase):
         *,
         monitor_every: int = 1,
         tol: float | None = None,
+        tracer=None,
     ):
         """Train; returns ``(beta, history)`` like the CPU solver."""
         if n_epochs < 0:
             raise ValueError("n_epochs must be non-negative")
         if monitor_every < 1:
             raise ValueError("monitor_every must be >= 1")
+        tracer = resolve_tracer(tracer)
+        ledger = tracer.open_ledger()
         csc = problem.dataset.csc
         self._book(csc, problem.m + problem.n)
         rule = ElasticNetPrimalRule(
@@ -104,45 +108,54 @@ class TpaElasticNet(_GlmTpaBase):
             dtype=self.dtype,
             y=problem.y,
             profiler=self.profiler,
+            tracer=tracer,
         )
         beta = np.zeros(problem.m, dtype=self.dtype)
         w = np.zeros(problem.n, dtype=self.dtype)
         rng = np.random.default_rng(self.seed)
         history = ConvergenceHistory(label=self.name)
         epoch_s = self._epoch_seconds(csc, problem.n)
-        t0 = time.perf_counter()
-        history.append(
-            ConvergenceRecord(
-                epoch=0,
-                gap=problem.subgradient_optimality(beta.astype(np.float64)),
-                objective=problem.objective(beta.astype(np.float64)),
-                sim_time=0.0,
-                wall_time=0.0,
-                updates=0,
-            )
-        )
-        sim = 0.0
-        updates = 0
-        for epoch in range(1, n_epochs + 1):
-            engine.run_epoch(beta, w, rng.permutation(problem.m), rng)
-            sim += epoch_s
-            updates += problem.m
-            if epoch % monitor_every == 0 or epoch == n_epochs:
-                b64 = beta.astype(np.float64)
-                kkt = problem.subgradient_optimality(b64)
-                history.append(
-                    ConvergenceRecord(
-                        epoch=epoch,
-                        gap=kkt,
-                        objective=problem.objective(b64),
-                        sim_time=sim,
-                        wall_time=time.perf_counter() - t0,
-                        updates=updates,
-                        extras={"nnz_beta": int(np.count_nonzero(beta))},
-                    )
+        with tracer.span(
+            "train", category="driver", solver=self.name, n_epochs=n_epochs
+        ):
+            t0 = time.perf_counter()
+            history.append(
+                ConvergenceRecord(
+                    epoch=0,
+                    gap=problem.subgradient_optimality(beta.astype(np.float64)),
+                    objective=problem.objective(beta.astype(np.float64)),
+                    sim_time=0.0,
+                    wall_time=0.0,
+                    updates=0,
                 )
-                if tol is not None and kkt <= tol:
-                    break
+            )
+            sim = 0.0
+            updates = 0
+            for epoch in range(1, n_epochs + 1):
+                with tracer.span("epoch", category="driver", epoch=epoch):
+                    engine.run_epoch(beta, w, rng.permutation(problem.m), rng)
+                    ledger.add("compute_gpu", epoch_s)
+                sim += epoch_s
+                updates += problem.m
+                tracer.count("train.epochs")
+                tracer.count("scd.updates", problem.m)
+                if epoch % monitor_every == 0 or epoch == n_epochs:
+                    b64 = beta.astype(np.float64)
+                    with tracer.span("gap_eval", category="monitor", epoch=epoch):
+                        kkt = problem.subgradient_optimality(b64)
+                    history.append(
+                        ConvergenceRecord(
+                            epoch=epoch,
+                            gap=kkt,
+                            objective=problem.objective(b64),
+                            sim_time=sim,
+                            wall_time=time.perf_counter() - t0,
+                            updates=updates,
+                            extras={"nnz_beta": int(np.count_nonzero(beta))},
+                        )
+                    )
+                    if tol is not None and kkt <= tol:
+                        break
         return beta.astype(np.float64), history
 
 
@@ -158,12 +171,15 @@ class TpaSvm(_GlmTpaBase):
         *,
         monitor_every: int = 1,
         target_gap: float | None = None,
+        tracer=None,
     ):
         """Train; returns ``(w, alpha, history)`` like the CPU solver."""
         if n_epochs < 0:
             raise ValueError("n_epochs must be non-negative")
         if monitor_every < 1:
             raise ValueError("monitor_every must be >= 1")
+        tracer = resolve_tracer(tracer)
+        ledger = tracer.open_ledger()
         csr = problem.dataset.csr
         self._book(csr, problem.n + problem.m)
         rule = SvmDualRule(
@@ -178,45 +194,54 @@ class TpaSvm(_GlmTpaBase):
             n_threads=self.n_threads,
             dtype=self.dtype,
             profiler=self.profiler,
+            tracer=tracer,
         )
         alpha = np.zeros(problem.n, dtype=self.dtype)
         w = np.zeros(problem.m, dtype=self.dtype)
         rng = np.random.default_rng(self.seed)
         history = ConvergenceHistory(label=self.name)
         epoch_s = self._epoch_seconds(csr, problem.m)
-        t0 = time.perf_counter()
-        history.append(
-            ConvergenceRecord(
-                epoch=0,
-                gap=problem.duality_gap(alpha.astype(np.float64)),
-                objective=problem.dual_objective(alpha.astype(np.float64)),
-                sim_time=0.0,
-                wall_time=0.0,
-                updates=0,
-            )
-        )
-        sim = 0.0
-        updates = 0
-        for epoch in range(1, n_epochs + 1):
-            engine.run_epoch(alpha, w, rng.permutation(problem.n), rng)
-            sim += epoch_s
-            updates += problem.n
-            if epoch % monitor_every == 0 or epoch == n_epochs:
-                a64 = np.clip(alpha.astype(np.float64), 0.0, 1.0)
-                gap = problem.duality_gap(a64)
-                history.append(
-                    ConvergenceRecord(
-                        epoch=epoch,
-                        gap=gap,
-                        objective=problem.dual_objective(a64),
-                        sim_time=sim,
-                        wall_time=time.perf_counter() - t0,
-                        updates=updates,
-                        extras={"support_vectors": int(np.count_nonzero(alpha))},
-                    )
+        with tracer.span(
+            "train", category="driver", solver=self.name, n_epochs=n_epochs
+        ):
+            t0 = time.perf_counter()
+            history.append(
+                ConvergenceRecord(
+                    epoch=0,
+                    gap=problem.duality_gap(alpha.astype(np.float64)),
+                    objective=problem.dual_objective(alpha.astype(np.float64)),
+                    sim_time=0.0,
+                    wall_time=0.0,
+                    updates=0,
                 )
-                if target_gap is not None and gap <= target_gap:
-                    break
+            )
+            sim = 0.0
+            updates = 0
+            for epoch in range(1, n_epochs + 1):
+                with tracer.span("epoch", category="driver", epoch=epoch):
+                    engine.run_epoch(alpha, w, rng.permutation(problem.n), rng)
+                    ledger.add("compute_gpu", epoch_s)
+                sim += epoch_s
+                updates += problem.n
+                tracer.count("train.epochs")
+                tracer.count("scd.updates", problem.n)
+                if epoch % monitor_every == 0 or epoch == n_epochs:
+                    a64 = np.clip(alpha.astype(np.float64), 0.0, 1.0)
+                    with tracer.span("gap_eval", category="monitor", epoch=epoch):
+                        gap = problem.duality_gap(a64)
+                    history.append(
+                        ConvergenceRecord(
+                            epoch=epoch,
+                            gap=gap,
+                            objective=problem.dual_objective(a64),
+                            sim_time=sim,
+                            wall_time=time.perf_counter() - t0,
+                            updates=updates,
+                            extras={"support_vectors": int(np.count_nonzero(alpha))},
+                        )
+                    )
+                    if target_gap is not None and gap <= target_gap:
+                        break
         return (
             w.astype(np.float64),
             np.clip(alpha.astype(np.float64), 0.0, 1.0),

@@ -72,11 +72,13 @@ class TpaScdKernelFactory:
         simulated_dataset_nbytes: int | None = None,
         timing_workload: EpochWorkload | None = None,
         profiler: "KernelProfile | None" = None,
+        tracer=None,
     ) -> None:
         if isinstance(device, GpuSpec):
             device = GpuDevice(device)
         self.device = device
         self.profiler = profiler
+        self.tracer = tracer
         self.n_threads = int(n_threads)
         self.wave_size = int(wave_size) if wave_size is not None else None
         self.dtype = np.dtype(dtype)
@@ -115,6 +117,7 @@ class TpaScdKernelFactory:
             n_threads=self.n_threads,
             dtype=self.dtype,
             profiler=self.profiler,
+            tracer=self.tracer,
         )
         y32 = y.astype(self.dtype, copy=False)
         nlam = self.dtype.type(n_global * lam)
@@ -150,6 +153,7 @@ class TpaScdKernelFactory:
             n_threads=self.n_threads,
             dtype=self.dtype,
             profiler=self.profiler,
+            tracer=self.tracer,
         )
         y32 = y_local.astype(self.dtype, copy=False)
         lam_t = self.dtype.type(lam)

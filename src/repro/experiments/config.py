@@ -1,7 +1,9 @@
 """Shared experiment configuration: dataset scales and solver builders.
 
-The drivers run at one of two scales:
+The drivers run at one of three scales:
 
+* ``tiny``  — smallest smoke scale; used by CI trace validation and anywhere
+  a sub-second end-to-end run is needed.
 * ``quick`` — default; every figure regenerates in seconds.  Used by the
   test-suite and the pytest-benchmark harness.
 * ``full``  — larger synthetic stand-ins (still laptop friendly) for closer
@@ -70,6 +72,16 @@ class ScaleConfig:
 
 
 SCALES: dict[str, ScaleConfig] = {
+    "tiny": ScaleConfig(
+        name="tiny",
+        webspam_n=400,
+        webspam_m=1_200,
+        webspam_nnz_per_example=20,
+        criteo_n=1_000,
+        criteo_groups=12,
+        criteo_cardinality=120,
+        epoch_factor=0.25,
+    ),
     "quick": ScaleConfig(
         name="quick",
         webspam_n=1_000,

@@ -31,6 +31,19 @@ def format_float(x: float) -> str:
     return f"{x:.3e}"
 
 
+def _jsonify(value):
+    """Recursively convert numpy scalars/arrays so ``json.dumps`` accepts it."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    return value
+
+
 @dataclass
 class CurveSeries:
     """One plotted line: a label and matched x/y arrays."""
@@ -54,6 +67,17 @@ class CurveSeries:
     def final(self) -> float:
         return float(self.y[-1]) if self.y.size else math.nan
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (numpy arrays become lists of floats)."""
+        return {
+            "label": self.label,
+            "x_name": self.x_name,
+            "y_name": self.y_name,
+            "x": [float(v) for v in self.x],
+            "y": [float(v) for v in self.y],
+            "meta": _jsonify(self.meta),
+        }
+
 
 @dataclass
 class FigureResult:
@@ -76,6 +100,16 @@ class FigureResult:
 
     def labels(self) -> list[str]:
         return [s.label for s in self.series]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form of the whole figure."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "series": [s.to_dict() for s in self.series],
+            "notes": list(self.notes),
+            "meta": _jsonify(self.meta),
+        }
 
     # -- rendering --------------------------------------------------------
     def render_text(self, *, max_rows: int = 12) -> str:

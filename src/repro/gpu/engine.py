@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import NULL_SPAN, NULL_TRACER
 from ..solvers.kernels import gather_chunk
 from .profiler import KernelProfile
 
@@ -92,6 +93,7 @@ class TpaScdEngine:
         n_threads: int,
         dtype=np.float32,
         profiler: KernelProfile | None = None,
+        tracer=None,
     ) -> None:
         if wave_size < 1:
             raise ValueError("wave_size must be >= 1")
@@ -104,6 +106,17 @@ class TpaScdEngine:
         self.wave_size = int(wave_size)
         self.n_threads = int(n_threads)
         self.profiler = profiler
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def _record_wave(self, tracer, flat_idx: np.ndarray) -> None:
+        """Book one wave's metrics (conflict analysis only when observed)."""
+        tracer.count("gpu.waves")
+        nnz = int(flat_idx.shape[0])
+        tracer.count("gpu.nnz_processed", nnz)
+        if nnz:
+            tracer.count(
+                "gpu.atomic_conflicts", nnz - int(np.unique(flat_idx).shape[0])
+            )
 
     def run_primal_epoch(
         self,
@@ -120,21 +133,37 @@ class TpaScdEngine:
         :class:`~repro.solvers.base.BoundKernel` contract.
         """
         dt = self.dtype
-        for start in range(0, perm.shape[0], self.wave_size):
-            coords = perm[start : start + self.wave_size]
-            flat_idx, flat_val, seg_ptr = gather_chunk(
-                self.indptr, self.indices, self.data, coords
-            )
-            if self.profiler is not None:
-                self.profiler.record_wave(flat_idx, seg_ptr, self.n_threads)
-            residual = (y[flat_idx] - w[flat_idx]).astype(dt, copy=False)
-            dots = block_tree_dots(
-                flat_val, residual, seg_ptr, self.n_threads, dtype=dt
-            )
-            deltas = ((dots - nlam * beta[coords]) * inv_denom[coords]).astype(dt)
-            beta[coords] += deltas
-            contrib = flat_val * np.repeat(deltas, np.diff(seg_ptr))
-            np.add.at(w, flat_idx, contrib)
+        tracer = self.tracer
+        observed = tracer.enabled
+        wave_spans = tracer.detail == "wave"
+        with tracer.span(
+            "tpa.epoch", category="gpu",
+            n_coords=int(perm.shape[0]), wave_size=self.wave_size,
+        ) if observed else NULL_SPAN:
+            for start in range(0, perm.shape[0], self.wave_size):
+                coords = perm[start : start + self.wave_size]
+                with tracer.span(
+                    "tpa.wave", category="gpu", blocks=int(coords.shape[0])
+                ) if wave_spans else NULL_SPAN:
+                    flat_idx, flat_val, seg_ptr = gather_chunk(
+                        self.indptr, self.indices, self.data, coords
+                    )
+                    if self.profiler is not None:
+                        self.profiler.record_wave(
+                            flat_idx, seg_ptr, self.n_threads
+                        )
+                    if observed:
+                        self._record_wave(tracer, flat_idx)
+                    residual = (y[flat_idx] - w[flat_idx]).astype(dt, copy=False)
+                    dots = block_tree_dots(
+                        flat_val, residual, seg_ptr, self.n_threads, dtype=dt
+                    )
+                    deltas = (
+                        (dots - nlam * beta[coords]) * inv_denom[coords]
+                    ).astype(dt)
+                    beta[coords] += deltas
+                    contrib = flat_val * np.repeat(deltas, np.diff(seg_ptr))
+                    np.add.at(w, flat_idx, contrib)
         return 0
 
     def run_dual_epoch(
@@ -149,22 +178,36 @@ class TpaScdEngine:
     ) -> int:
         """One dual epoch: blocks compute ``<wbar, a_n>`` then update."""
         dt = self.dtype
-        for start in range(0, perm.shape[0], self.wave_size):
-            coords = perm[start : start + self.wave_size]
-            flat_idx, flat_val, seg_ptr = gather_chunk(
-                self.indptr, self.indices, self.data, coords
-            )
-            if self.profiler is not None:
-                self.profiler.record_wave(flat_idx, seg_ptr, self.n_threads)
-            gathered = wbar[flat_idx].astype(dt, copy=False)
-            dots = block_tree_dots(
-                flat_val, gathered, seg_ptr, self.n_threads, dtype=dt
-            )
-            deltas = (
-                (lam * y_local[coords] - dots - nlam * alpha[coords])
-                * inv_denom[coords]
-            ).astype(dt)
-            alpha[coords] += deltas
-            contrib = flat_val * np.repeat(deltas, np.diff(seg_ptr))
-            np.add.at(wbar, flat_idx, contrib)
+        tracer = self.tracer
+        observed = tracer.enabled
+        wave_spans = tracer.detail == "wave"
+        with tracer.span(
+            "tpa.epoch", category="gpu",
+            n_coords=int(perm.shape[0]), wave_size=self.wave_size,
+        ) if observed else NULL_SPAN:
+            for start in range(0, perm.shape[0], self.wave_size):
+                coords = perm[start : start + self.wave_size]
+                with tracer.span(
+                    "tpa.wave", category="gpu", blocks=int(coords.shape[0])
+                ) if wave_spans else NULL_SPAN:
+                    flat_idx, flat_val, seg_ptr = gather_chunk(
+                        self.indptr, self.indices, self.data, coords
+                    )
+                    if self.profiler is not None:
+                        self.profiler.record_wave(
+                            flat_idx, seg_ptr, self.n_threads
+                        )
+                    if observed:
+                        self._record_wave(tracer, flat_idx)
+                    gathered = wbar[flat_idx].astype(dt, copy=False)
+                    dots = block_tree_dots(
+                        flat_val, gathered, seg_ptr, self.n_threads, dtype=dt
+                    )
+                    deltas = (
+                        (lam * y_local[coords] - dots - nlam * alpha[coords])
+                        * inv_denom[coords]
+                    ).astype(dt)
+                    alpha[coords] += deltas
+                    contrib = flat_val * np.repeat(deltas, np.diff(seg_ptr))
+                    np.add.at(wbar, flat_idx, contrib)
         return 0

@@ -24,6 +24,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from ..obs import NULL_SPAN, NULL_TRACER
 from ..solvers.kernels import gather_chunk
 from .engine import block_tree_dots
 from .profiler import KernelProfile
@@ -186,6 +187,7 @@ class GlmTpaEngine:
         dtype=np.float32,
         y: np.ndarray | None = None,
         profiler: KernelProfile | None = None,
+        tracer=None,
     ) -> None:
         if wave_size < 1:
             raise ValueError("wave_size must be >= 1")
@@ -204,6 +206,7 @@ class GlmTpaEngine:
         self.n_threads = int(n_threads)
         self.y = None if y is None else y.astype(self.dtype, copy=False)
         self.profiler = profiler
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run_epoch(
         self,
@@ -215,23 +218,49 @@ class GlmTpaEngine:
         """One pass over ``perm``; conforms to the BoundKernel contract."""
         dt = self.dtype
         rule = self.rule
-        for start in range(0, perm.shape[0], self.wave_size):
-            coords = perm[start : start + self.wave_size]
-            flat_idx, flat_val, seg_ptr = gather_chunk(
-                self.indptr, self.indices, self.data, coords
-            )
-            if self.profiler is not None:
-                self.profiler.record_wave(flat_idx, seg_ptr, self.n_threads)
-            if rule.needs == "residual":
-                gathered = (self.y[flat_idx] - shared[flat_idx]).astype(dt, copy=False)
-            else:
-                gathered = shared[flat_idx].astype(dt, copy=False)
-            dots = block_tree_dots(flat_val, gathered, seg_ptr, self.n_threads, dtype=dt)
-            deltas = rule.deltas(coords, dots, weights[coords])
-            weights[coords] += deltas
-            scaled = deltas * rule.shared_scale(coords)
-            contrib = flat_val * np.repeat(
-                scaled.astype(dt, copy=False), np.diff(seg_ptr)
-            )
-            np.add.at(shared, flat_idx, contrib)
+        tracer = self.tracer
+        observed = tracer.enabled
+        wave_spans = tracer.detail == "wave"
+        with tracer.span(
+            "glm.epoch", category="gpu",
+            rule=type(rule).__name__,
+            n_coords=int(perm.shape[0]), wave_size=self.wave_size,
+        ) if observed else NULL_SPAN:
+            for start in range(0, perm.shape[0], self.wave_size):
+                coords = perm[start : start + self.wave_size]
+                with tracer.span(
+                    "glm.wave", category="gpu", blocks=int(coords.shape[0])
+                ) if wave_spans else NULL_SPAN:
+                    flat_idx, flat_val, seg_ptr = gather_chunk(
+                        self.indptr, self.indices, self.data, coords
+                    )
+                    if self.profiler is not None:
+                        self.profiler.record_wave(
+                            flat_idx, seg_ptr, self.n_threads
+                        )
+                    if observed:
+                        tracer.count("gpu.waves")
+                        nnz = int(flat_idx.shape[0])
+                        tracer.count("gpu.nnz_processed", nnz)
+                        if nnz:
+                            tracer.count(
+                                "gpu.atomic_conflicts",
+                                nnz - int(np.unique(flat_idx).shape[0]),
+                            )
+                    if rule.needs == "residual":
+                        gathered = (self.y[flat_idx] - shared[flat_idx]).astype(
+                            dt, copy=False
+                        )
+                    else:
+                        gathered = shared[flat_idx].astype(dt, copy=False)
+                    dots = block_tree_dots(
+                        flat_val, gathered, seg_ptr, self.n_threads, dtype=dt
+                    )
+                    deltas = rule.deltas(coords, dots, weights[coords])
+                    weights[coords] += deltas
+                    scaled = deltas * rule.shared_scale(coords)
+                    contrib = flat_val * np.repeat(
+                        scaled.astype(dt, copy=False), np.diff(seg_ptr)
+                    )
+                    np.add.at(shared, flat_idx, contrib)
         return 0

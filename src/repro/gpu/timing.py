@@ -29,11 +29,15 @@ class GpuTimingModel:
     def __init__(self, spec: GpuSpec) -> None:
         self.spec = spec
 
-    def epoch_seconds(self, workload: EpochWorkload) -> float:
+    def cost_parts(self, workload: EpochWorkload) -> dict[str, float]:
+        """Per-mechanism epoch cost: DRAM streaming vs block scheduling."""
         spec = self.spec
         traffic = workload.nnz * BYTES_PER_NNZ
         t_mem = traffic / (spec.mem_bandwidth_gbs * 1e9 * spec.mem_efficiency)
         # blocks are dispatched across the SMs; each costs a small fixed
         # scheduling overhead, overlapped across the device's SMs
         t_blocks = workload.n_coords * spec.block_overhead_s / spec.n_sms
-        return t_mem + t_blocks
+        return {"mem": t_mem, "sched": t_blocks}
+
+    def epoch_seconds(self, workload: EpochWorkload) -> float:
+        return sum(self.cost_parts(workload).values())

@@ -1,0 +1,251 @@
+"""Trace and metrics exporters: Chrome trace JSON, metrics dump, ASCII flame.
+
+``chrome_trace`` emits the Chrome ``trace_event`` *JSON object format*
+(https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+one complete (``"ph": "X"``) event per span, wall-clock microseconds on the
+timeline, and the span's modelled-seconds attribution under
+``args["sim"]``.  The file loads directly in ``chrome://tracing`` and
+https://ui.perfetto.dev.  Two extra top-level keys make the artifact
+self-describing:
+
+* ``simTotals`` — the tracer's global :class:`TimeLedger` breakdown;
+* ``metrics``  — the metrics-registry snapshot.
+
+``validate_chrome_trace`` checks structural validity *and* the conservation
+law that makes the trace trustworthy: the per-event ``args["sim"]`` seconds
+must sum to ``simTotals`` per component (i.e. the trace is a lossless
+decomposition of the ledger).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from .tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_json",
+    "write_metrics_json",
+    "flame_summary",
+    "validate_chrome_trace",
+]
+
+TRACE_SCHEMA = "repro.trace/v1"
+METRICS_SCHEMA = "repro.metrics/v1"
+
+#: nesting slack (µs) tolerated by the validator — float-to-integer
+#: truncation can let a child's end land one tick past its parent's
+_NEST_SLACK_US = 2
+
+
+def _span_events(span: Span, pid: int, tid: int, out: list[dict]) -> None:
+    event = {
+        "name": span.name,
+        "cat": span.category or "span",
+        "ph": "X",
+        "ts": int(span.t0 * 1e6),
+        "dur": max(int(span.wall_seconds * 1e6), 0),
+        "pid": pid,
+        "tid": tid,
+        "args": dict(span.attrs),
+    }
+    if span.sim:
+        event["args"]["sim"] = {k: v for k, v in sorted(span.sim.items())}
+        event["args"]["sim_seconds"] = span.sim_seconds()
+    out.append(event)
+    for child in span.children:
+        _span_events(child, pid, tid, out)
+
+
+def chrome_trace(tracer: Tracer, *, metadata: dict | None = None) -> dict:
+    """Render the tracer's span forest as a Chrome-trace JSON object."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": "repro (modelled execution)"},
+        }
+    ]
+    for root in tracer.roots:
+        _span_events(root, pid=1, tid=1, out=events)
+    doc = {
+        "schema": TRACE_SCHEMA,
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "simTotals": {
+            k: v for k, v in tracer.ledger.breakdown().items() if v
+        },
+        "metrics": tracer.metrics.as_dict(),
+    }
+    if metadata:
+        doc["otherData"] = dict(metadata)
+    return doc
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str | Path, *, metadata: dict | None = None
+) -> Path:
+    """Validate and write the Chrome-trace JSON; returns the path written."""
+    doc = chrome_trace(tracer, metadata=metadata)
+    validate_chrome_trace(doc)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=False))
+    return path
+
+
+def metrics_json(tracer: Tracer, *, metadata: dict | None = None) -> dict:
+    """Flat JSON dump of the metrics registry + modelled-time breakdown."""
+    doc = {
+        "schema": METRICS_SCHEMA,
+        "sim_breakdown": {
+            k: v for k, v in tracer.ledger.breakdown().items() if v
+        },
+        "sim_total_seconds": tracer.ledger.total,
+        "metrics": tracer.metrics.as_dict(),
+    }
+    if metadata:
+        doc["metadata"] = dict(metadata)
+    return doc
+
+
+def write_metrics_json(
+    tracer: Tracer, path: str | Path, *, metadata: dict | None = None
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(metrics_json(tracer, metadata=metadata), indent=1))
+    return path
+
+
+# -- validation --------------------------------------------------------------
+
+
+def validate_chrome_trace(doc: dict, *, rtol: float = 1e-9) -> None:
+    """Raise :class:`ValueError` unless ``doc`` is a well-formed repro trace.
+
+    Checks performed:
+
+    1. structure — ``traceEvents`` is a list of events; every ``"X"`` event
+       has a name and non-negative integer ``ts``/``dur``;
+    2. nesting — per ``(pid, tid)``, complete events form a proper tree:
+       any two either nest or are disjoint (within integer-rounding slack);
+    3. conservation — per-component ``args["sim"]`` seconds summed over all
+       events equal ``simTotals`` within ``rtol`` relative tolerance.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace must be a JSON object")
+    if doc.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"trace schema must be {TRACE_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must carry a 'traceEvents' list")
+    sim_sums: dict[str, float] = {}
+    lanes: dict[tuple, list[tuple[int, int, str]]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            raise ValueError(f"event {i} is not a phased trace event")
+        if ev["ph"] != "X":
+            continue
+        name = ev.get("name")
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"event {i} lacks a name")
+        if not isinstance(ts, int) or not isinstance(dur, int) or ts < 0 or dur < 0:
+            raise ValueError(f"event {name!r}: ts/dur must be non-negative ints")
+        if "pid" not in ev or "tid" not in ev:
+            raise ValueError(f"event {name!r} lacks pid/tid")
+        lanes.setdefault((ev["pid"], ev["tid"]), []).append((ts, ts + dur, name))
+        sim = ev.get("args", {}).get("sim", {})
+        if not isinstance(sim, dict):
+            raise ValueError(f"event {name!r}: args.sim must be an object")
+        for component, seconds in sim.items():
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                raise ValueError(
+                    f"event {name!r}: sim[{component!r}] must be >= 0"
+                )
+            sim_sums[component] = sim_sums.get(component, 0.0) + seconds
+
+    for lane, intervals in lanes.items():
+        # parents before children at equal start times: wider interval first
+        intervals.sort(key=lambda iv: (iv[0], -iv[1]))
+        stack: list[tuple[int, int, str]] = []
+        for t0, t1, name in intervals:
+            while stack and t0 >= stack[-1][1] - _NEST_SLACK_US:
+                stack.pop()
+            if stack and t1 > stack[-1][1] + _NEST_SLACK_US:
+                raise ValueError(
+                    f"event {name!r} overlaps {stack[-1][2]!r} without nesting "
+                    f"(lane {lane})"
+                )
+            stack.append((t0, t1, name))
+
+    totals = doc.get("simTotals", {})
+    if not isinstance(totals, dict):
+        raise ValueError("simTotals must be an object")
+    components = set(totals) | set(sim_sums)
+    for component in components:
+        expect = float(totals.get(component, 0.0))
+        got = sim_sums.get(component, 0.0)
+        if not math.isclose(got, expect, rel_tol=rtol, abs_tol=1e-12):
+            raise ValueError(
+                f"sim rollup mismatch for {component!r}: events sum to "
+                f"{got!r}, simTotals says {expect!r}"
+            )
+
+
+# -- ASCII flame summary -----------------------------------------------------
+
+
+def _aggregate(spans: list[Span]) -> dict[tuple[str, str], dict]:
+    """Group sibling spans by (name, category), preserving first-seen order."""
+    groups: dict[tuple[str, str], dict] = {}
+    for span in spans:
+        key = (span.name, span.category)
+        g = groups.setdefault(
+            key, {"calls": 0, "wall": 0.0, "sim": 0.0, "children": []}
+        )
+        g["calls"] += 1
+        g["wall"] += span.wall_seconds
+        g["sim"] += sum(span.sim_rollup().values())
+        g["children"].extend(span.children)
+    return groups
+
+
+def _flame_lines(
+    spans: list[Span], depth: int, max_depth: int, lines: list[str]
+) -> None:
+    if depth > max_depth:
+        return
+    for (name, _cat), g in _aggregate(spans).items():
+        label = "  " * depth + name
+        lines.append(
+            f"{label:<44} {g['calls']:>6}x  wall {g['wall']:>9.4f}s"
+            f"  sim {g['sim']:>12.6g}s"
+        )
+        _flame_lines(g["children"], depth + 1, max_depth, lines)
+
+
+def flame_summary(tracer: Tracer, *, max_depth: int = 6) -> str:
+    """ASCII flame-style rollup of the span tree (calls, wall s, modelled s)."""
+    lines = [
+        f"{'span':<44} {'calls':>7}  {'wall-clock':>15}  {'modelled':>16}"
+    ]
+    _flame_lines(tracer.roots, 0, max_depth, lines)
+    breakdown = {k: v for k, v in tracer.ledger.breakdown().items() if v}
+    if breakdown:
+        lines.append("")
+        lines.append("modelled-time breakdown (== TimeLedger):")
+        total = tracer.ledger.total
+        for component, seconds in breakdown.items():
+            share = 100.0 * seconds / total if total else 0.0
+            lines.append(f"  {component:<18} {seconds:>12.6g}s  {share:5.1f}%")
+    return "\n".join(lines)

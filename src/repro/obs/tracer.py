@@ -1,0 +1,337 @@
+"""Hierarchical span tracing with modelled-time attribution.
+
+A :class:`Span` is one timed region of execution.  It carries two clocks:
+
+* **wall time** — real host seconds from ``time.perf_counter`` (relative to
+  the tracer's start), which is what the Chrome trace timeline shows;
+* **modelled time** — the simulated seconds the performance models book into
+  a :class:`~repro.perf.ledger.TimeLedger`, attributed per component to
+  whichever span is open when the booking happens.
+
+The second clock is the load-bearing one: the engines *model* epoch cost
+rather than measure it, so a Fig. 9-style breakdown must come from the same
+``ledger.add(component, seconds)`` calls the ledger sees.  The tracer hands
+engines a :class:`TimeLedger` subclass (:meth:`Tracer.open_ledger`) whose
+``add`` also attributes to the current span, which makes
+``ledger.breakdown() == span rollup`` true by construction.
+
+Use either the explicit or the ambient form::
+
+    tracer = Tracer()
+    result = solver.solve(problem, 20, tracer=tracer)
+
+    with use_tracer(tracer):            # ambient: reaches every engine the
+        run_fig9()                      # experiment drivers construct
+
+:data:`NULL_TRACER` is the default everywhere: every method is a no-op and
+``open_ledger`` returns a plain ledger, so untraced hot loops pay only a
+no-op method call.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..perf.ledger import TimeLedger
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "active_tracer",
+    "resolve_tracer",
+    "use_tracer",
+    "traced",
+]
+
+#: synthetic root span that absorbs modelled-time bookings made while no
+#: span is open, so the span rollup always equals the tracer's ledger
+UNTRACED = "(untraced)"
+
+
+@dataclass
+class Span:
+    """One timed region: wall interval, modelled seconds, attributes, children."""
+
+    name: str
+    category: str = ""
+    t0: float = 0.0
+    t1: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    #: modelled seconds booked while this span was current, per component
+    sim: dict[str, float] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.t1 - self.t0
+
+    def sim_seconds(self) -> float:
+        """Modelled seconds booked directly into this span."""
+        return sum(self.sim.values())
+
+    def sim_rollup(self) -> dict[str, float]:
+        """Per-component modelled seconds summed over this span's subtree."""
+        out = dict(self.sim)
+        for child in self.children:
+            for k, v in child.sim_rollup().items():
+                out[k] = out.get(k, 0.0) + v
+        return out
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, wall={self.wall_seconds:.4g}s, "
+            f"sim={self.sim_seconds():.4g}s, children={len(self.children)})"
+        )
+
+
+class _SpanContext:
+    """Cheap re-usable context manager opening one span on enter."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._pop(self._span)
+
+
+class _NullSpanContext:
+    """Shared no-op span context (returned by :class:`NullTracer`)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+#: the singleton no-op span context — safe to reuse, it holds no state
+NULL_SPAN = _NullSpanContext()
+
+
+class _TracedLedger(TimeLedger):
+    """A :class:`TimeLedger` that mirrors every booking into its tracer."""
+
+    def __init__(self, tracer: "Tracer") -> None:
+        super().__init__()
+        self._tracer = tracer
+
+    def add(self, component: str, seconds: float) -> None:
+        super().add(component, seconds)
+        self._tracer.add_modelled(component, seconds)
+
+
+class Tracer:
+    """Collects nested spans, modelled time, and metrics for one run.
+
+    Parameters
+    ----------
+    metrics:
+        Registry receiving counters/gauges/histograms; a fresh one by default.
+    detail:
+        ``"epoch"`` (default) emits driver/epoch/collective spans;
+        ``"wave"`` additionally opens a span per GPU thread-block wave
+        (large traces — intended for short runs under inspection).
+    """
+
+    enabled = True
+
+    def __init__(
+        self, *, metrics: MetricsRegistry | None = None, detail: str = "epoch"
+    ) -> None:
+        if detail not in ("epoch", "wave"):
+            raise ValueError(f"detail must be 'epoch' or 'wave', got {detail!r}")
+        self.detail = detail
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: global modelled-time accumulation across every traced engine
+        self.ledger = TimeLedger()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._t0 = time.perf_counter()
+        self._orphan: Span | None = None
+
+    # -- span lifecycle ----------------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _push(self, span: Span) -> None:
+        span.t0 = self._now()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order (open: "
+                f"{[s.name for s in self._stack]})"
+            )
+        span.t1 = self._now()
+        self._stack.pop()
+
+    def span(self, name: str, category: str = "", **attrs) -> _SpanContext:
+        """Open a child span of whatever span is currently on the stack."""
+        return _SpanContext(self, Span(name=name, category=category, attrs=attrs))
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- modelled-time attribution ----------------------------------------
+    def add_modelled(self, component: str, seconds: float) -> None:
+        """Book modelled seconds to the current span and the global ledger."""
+        self.ledger.add(component, seconds)
+        if self._stack:
+            sim = self._stack[-1].sim
+        else:
+            if self._orphan is None:
+                self._orphan = Span(name=UNTRACED, category="tracer")
+                self.roots.append(self._orphan)
+            sim = self._orphan.sim
+        sim[component] = sim.get(component, 0.0) + seconds
+
+    def open_ledger(self) -> TimeLedger:
+        """A fresh per-run ledger whose bookings also land in this tracer."""
+        return _TracedLedger(self)
+
+    def ledger_view(self) -> TimeLedger:
+        """Derive a :class:`TimeLedger` purely from the span tree.
+
+        Equals :attr:`ledger` by construction; exposed so the invariant is
+        testable and so consumers can treat the ledger as a span rollup.
+        """
+        view = TimeLedger()
+        for root in self.roots:
+            for component, seconds in root.sim_rollup().items():
+                view.add(component, seconds)
+        return view
+
+    # -- metrics convenience ----------------------------------------------
+    def count(self, name: str, value: float = 1.0) -> None:
+        self.metrics.inc(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    # -- inspection --------------------------------------------------------
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Tracer({len(self.roots)} roots, "
+            f"sim={self.ledger.total:.4g}s, detail={self.detail!r})"
+        )
+
+
+class NullTracer:
+    """The do-nothing tracer: every instrumented path costs one no-op call."""
+
+    enabled = False
+    detail = "off"
+    metrics = None
+    roots: list[Span] = []
+
+    def span(self, name: str, category: str = "", **attrs) -> _NullSpanContext:
+        return NULL_SPAN
+
+    def add_modelled(self, component: str, seconds: float) -> None:
+        pass
+
+    def open_ledger(self) -> TimeLedger:
+        return TimeLedger()
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullTracer()"
+
+
+#: the shared default tracer — stateless, safe to use everywhere
+NULL_TRACER = NullTracer()
+
+#: the ambient tracer installed by :func:`use_tracer` (module-global;
+#: the simulation engines are single-threaded by design)
+_ACTIVE: Tracer | None = None
+
+
+def active_tracer() -> "Tracer | NullTracer":
+    """The ambient tracer, or :data:`NULL_TRACER` when none is installed."""
+    return _ACTIVE if _ACTIVE is not None else NULL_TRACER
+
+
+def resolve_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """An explicit tracer wins; otherwise fall back to the ambient one."""
+    return tracer if tracer is not None else active_tracer()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Install ``tracer`` as the ambient tracer for the ``with`` body.
+
+    Every ``solve(...)`` entered inside the body (including those buried in
+    experiment drivers) picks it up via :func:`resolve_tracer`.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+def traced(name: str | None = None, category: str = "func") -> Callable:
+    """Decorator opening a span around each call, on the *ambient* tracer.
+
+    ::
+
+        @traced("preprocess")
+        def normalize(ds): ...
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with active_tracer().span(label, category=category):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

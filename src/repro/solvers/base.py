@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Any, Callable, Protocol
 
 import numpy as np
 
 from ..metrics import ConvergenceHistory, ConvergenceRecord
 from ..objectives.ridge import RidgeProblem
+from ..obs import resolve_tracer
+from ..perf.ledger import TimeLedger
 from ..perf.timing import EpochWorkload, LocalTiming
 from ..sparse import CscMatrix, CsrMatrix
 
@@ -87,7 +89,13 @@ class KernelFactory(Protocol):
 
 @dataclass
 class TrainResult:
-    """Outcome of a training run."""
+    """Outcome of a training run — the canonical result shape.
+
+    Every engine (single-node drivers, the distributed/SVM/mp engines via
+    subclasses) returns this shape, so downstream code can always reach
+    ``history``, ``ledger`` and — when a tracer was installed — ``trace``
+    and ``metrics``.
+    """
 
     formulation: str
     weights: np.ndarray
@@ -95,6 +103,12 @@ class TrainResult:
     history: ConvergenceHistory
     solver_name: str
     lost_updates: int = 0
+    #: modelled per-component time accounting (always populated)
+    ledger: TimeLedger | None = None
+    #: the :class:`~repro.obs.Tracer` that observed the run, when enabled
+    trace: Any = None
+    #: the tracer's :class:`~repro.obs.MetricsRegistry`, when enabled
+    metrics: Any = None
 
     def primal_weights(self, problem: RidgeProblem) -> np.ndarray:
         """The model usable for prediction, mapping dual iterates via Eq. 5."""
@@ -163,61 +177,85 @@ class ScdSolver:
         *,
         monitor_every: int = 1,
         target_gap: float | None = None,
+        tracer=None,
     ) -> TrainResult:
         """Train for up to ``n_epochs`` epochs.
 
         ``monitor_every`` controls how often the duality gap is evaluated;
         ``target_gap`` stops early once the gap reaches the target (checked
         only at monitored epochs, like the paper's time-to-epsilon runs).
+        ``tracer`` attaches a :class:`~repro.obs.Tracer` (defaults to the
+        ambient tracer installed by :func:`~repro.obs.use_tracer`); tracing
+        only observes — seeded trajectories are bit-identical with it on.
         """
         if n_epochs < 0:
             raise ValueError("n_epochs must be non-negative")
         if monitor_every < 1:
             raise ValueError("monitor_every must be >= 1")
-        bound = self._bind(problem)
-        rng = np.random.default_rng(self.seed)
-        weights = np.zeros(bound.n_coords, dtype=bound.dtype)
-        shared = np.zeros(bound.shared_len, dtype=bound.dtype)
-        history = ConvergenceHistory(label=self.name)
-        sim_time = 0.0
-        lost_total = 0
-        t0 = time.perf_counter()
+        tracer = resolve_tracer(tracer)
+        if tracer.enabled:
+            # device factories (TPA, GLM) forward the tracer into the wave
+            # scheduler so kernel-level spans/counters are emitted too
+            self.factory.tracer = tracer
+        ledger = tracer.open_ledger()
+        with tracer.span(
+            "train", category="driver", solver=self.name,
+            formulation=self.formulation, n_epochs=n_epochs,
+        ):
+            with tracer.span("bind", category="driver"):
+                bound = self._bind(problem)
+            rng = np.random.default_rng(self.seed)
+            weights = np.zeros(bound.n_coords, dtype=bound.dtype)
+            shared = np.zeros(bound.shared_len, dtype=bound.dtype)
+            history = ConvergenceHistory(label=self.name)
+            sim_time = 0.0
+            lost_total = 0
+            t0 = time.perf_counter()
 
-        gap, obj = self._gap(problem, weights)
-        history.append(
-            ConvergenceRecord(
-                epoch=0,
-                gap=gap,
-                objective=obj,
-                sim_time=0.0,
-                wall_time=0.0,
-                updates=0,
-            )
-        )
-
-        epoch_cost = bound.epoch_seconds()
-        updates = 0
-        for epoch in range(1, n_epochs + 1):
-            perm = rng.permutation(bound.n_coords)
-            lost = bound.run_epoch(weights, shared, perm, rng)
-            lost_total += lost
-            updates += bound.n_coords
-            sim_time += epoch_cost
-            if epoch % monitor_every == 0 or epoch == n_epochs:
+            with tracer.span("gap_eval", category="monitor", epoch=0):
                 gap, obj = self._gap(problem, weights)
-                history.append(
-                    ConvergenceRecord(
-                        epoch=epoch,
-                        gap=gap,
-                        objective=obj,
-                        sim_time=sim_time,
-                        wall_time=time.perf_counter() - t0,
-                        updates=updates,
-                        extras={"lost_updates": lost_total},
-                    )
+            history.append(
+                ConvergenceRecord(
+                    epoch=0,
+                    gap=gap,
+                    objective=obj,
+                    sim_time=0.0,
+                    wall_time=0.0,
+                    updates=0,
                 )
-                if target_gap is not None and gap <= target_gap:
-                    break
+            )
+
+            epoch_cost = bound.epoch_seconds()
+            component = bound.timing.component
+            updates = 0
+            for epoch in range(1, n_epochs + 1):
+                with tracer.span("epoch", category="driver", epoch=epoch):
+                    perm = rng.permutation(bound.n_coords)
+                    lost = bound.run_epoch(weights, shared, perm, rng)
+                    ledger.add(component, epoch_cost)
+                lost_total += lost
+                updates += bound.n_coords
+                sim_time += epoch_cost
+                tracer.count("train.epochs")
+                tracer.count("scd.updates", bound.n_coords)
+                if lost:
+                    tracer.count("scd.lost_updates", lost)
+                if epoch % monitor_every == 0 or epoch == n_epochs:
+                    with tracer.span("gap_eval", category="monitor", epoch=epoch):
+                        gap, obj = self._gap(problem, weights)
+                    history.append(
+                        ConvergenceRecord(
+                            epoch=epoch,
+                            gap=gap,
+                            objective=obj,
+                            sim_time=sim_time,
+                            wall_time=time.perf_counter() - t0,
+                            updates=updates,
+                            extras={"lost_updates": lost_total},
+                        )
+                    )
+                    if target_gap is not None and gap <= target_gap:
+                        break
 
         return TrainResult(
             formulation=self.formulation,
@@ -226,4 +264,7 @@ class ScdSolver:
             history=history,
             solver_name=self.name,
             lost_updates=lost_total,
+            ledger=ledger,
+            trace=tracer if tracer.enabled else None,
+            metrics=tracer.metrics if tracer.enabled else None,
         )

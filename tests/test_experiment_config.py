@@ -20,9 +20,13 @@ from repro.gpu import GTX_TITAN_X
 
 
 class TestScales:
-    def test_both_scales_defined(self):
-        assert set(SCALES) == {"quick", "full"}
-        assert SCALES["full"].webspam_n > SCALES["quick"].webspam_n
+    def test_all_scales_defined(self):
+        assert set(SCALES) == {"tiny", "quick", "full"}
+        assert (
+            SCALES["full"].webspam_n
+            > SCALES["quick"].webspam_n
+            > SCALES["tiny"].webspam_n
+        )
 
     def test_active_scale_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_SCALE", raising=False)
