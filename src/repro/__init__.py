@@ -36,6 +36,13 @@ from .data import (
     train_test_split,
 )
 from .metrics import ConvergenceHistory, ConvergenceRecord, speedup
+from .shards import (
+    ShardCache,
+    ShardingConfig,
+    ShardStore,
+    ShardStreamer,
+    pack_dataset,
+)
 from .obs import (
     MetricsRegistry,
     NullTracer,
@@ -86,6 +93,12 @@ __all__ = [
     "make_dense_gaussian",
     "make_sparse_regression",
     "make_webspam_like",
+    # out-of-core shard store
+    "pack_dataset",
+    "ShardStore",
+    "ShardCache",
+    "ShardingConfig",
+    "ShardStreamer",
     # metrics
     "ConvergenceHistory",
     "ConvergenceRecord",

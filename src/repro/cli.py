@@ -9,6 +9,8 @@ Usage::
     python -m repro trace fig2 --scale tiny   # Chrome-trace + metrics export
     python -m repro info                      # paper + substitution summary
     python -m repro faults                    # named fault-injection scenarios
+    python -m repro shards pack out/          # pack a dataset into a shard set
+    python -m repro shards info out/          # inspect a packed shard set
 """
 
 from __future__ import annotations
@@ -117,6 +119,48 @@ def build_parser() -> argparse.ArgumentParser:
         default="epoch",
         help="span granularity: per-epoch (default) or per-GPU-wave",
     )
+
+    shards = sub.add_parser(
+        "shards",
+        help="pack datasets into out-of-core shard sets and inspect them",
+    )
+    shards_sub = shards.add_subparsers(dest="shards_command", required=True)
+    pack = shards_sub.add_parser(
+        "pack", help="pack a synthetic dataset into an on-disk shard set"
+    )
+    pack.add_argument("out_dir", help="directory for the shard set")
+    pack.add_argument(
+        "--dataset",
+        choices=["webspam", "criteo"],
+        default="criteo",
+        help="synthetic dataset family (default: criteo)",
+    )
+    pack.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="dataset scale (default: REPRO_SCALE or 'quick')",
+    )
+    pack.add_argument(
+        "--axis",
+        choices=["rows", "cols"],
+        default="rows",
+        help="major axis to slice: rows (dual/examples) or cols (primal)",
+    )
+    pack.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of shards (default: byte-balanced 8)",
+    )
+    info = shards_sub.add_parser("info", help="describe a packed shard set")
+    info.add_argument("shard_dir", help="directory holding the shard set")
+    info.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-read every shard and check its checksum",
+    )
     return parser
 
 
@@ -148,6 +192,51 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_shards(args) -> int:
+    from .shards import ShardStore, pack_dataset
+
+    if args.shards_command == "pack":
+        from .experiments import active_scale
+        from .experiments.config import criteo_problem, webspam_problem
+
+        scale = SCALES[args.scale] if args.scale else active_scale()
+        build = criteo_problem if args.dataset == "criteo" else webspam_problem
+        problem, _ = build(scale)
+        manifest = pack_dataset(
+            problem.dataset, args.out_dir, axis=args.axis, n_shards=args.shards
+        )
+        print(
+            f"packed {manifest.name!r}: {len(manifest.shards)} "
+            f"{manifest.axis}-axis shards, {manifest.total_nbytes:,} bytes "
+            f"-> {args.out_dir}"
+        )
+        for meta in manifest.shards:
+            print(
+                f"  shard {meta.shard_id:3d}  [{meta.start:>8}, {meta.stop:>8})"
+                f"  {meta.nbytes:>12,} B  nnz={meta.nnz:,}"
+            )
+        return 0
+
+    store = ShardStore(args.shard_dir, verify_checksums=args.verify)
+    m = store.manifest
+    print(f"shard set {m.name!r}  ({args.shard_dir})")
+    print(f"  axis:    {m.axis}")
+    print(f"  matrix:  {m.shape[0]} x {m.shape[1]}  dtype={m.dtype}")
+    print(f"  bytes:   {m.total_nbytes:,} across {len(m.shards)} shards")
+    for meta in m.shards:
+        status = ""
+        if args.verify:
+            store.read(meta.shard_id)  # raises on checksum mismatch
+            status = "  crc ok"
+        print(
+            f"  shard {meta.shard_id:3d}  [{meta.start:>8}, {meta.stop:>8})"
+            f"  {meta.nbytes:>12,} B  nnz={meta.nnz:,}{status}"
+        )
+    if args.verify:
+        print("all checksums verified")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -167,6 +256,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 0
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "shards":
+            return _cmd_shards(args)
         if args.command == "run":
             scale = SCALES[args.scale] if args.scale else None
             fig = ALL_EXPERIMENTS[args.experiment](scale)

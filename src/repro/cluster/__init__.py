@@ -18,6 +18,7 @@ from .partition import (
     contiguous_partition,
     proportional_partition,
     random_partition,
+    shard_aligned_partition,
 )
 from .smart_partition import (
     communities_of,
@@ -42,6 +43,7 @@ __all__ = [
     "contiguous_partition",
     "balanced_nnz_partition",
     "proportional_partition",
+    "shard_aligned_partition",
     "cooccurrence_graph",
     "communities_of",
     "pack_communities",

@@ -33,6 +33,11 @@ Fault taxonomy (see ``docs/fault_model.md``):
   into the *next* aggregation round.
 * **worker dropout** — the worker is absent for the whole epoch (no
   compute, no update); it rejoins automatically at the next broadcast.
+* **shard-read failure** — a read from the out-of-core shard store
+  (:mod:`repro.shards`) fails transiently and is retried under the store's
+  :class:`RetryPolicy`; exhaustion raises
+  :class:`~repro.shards.store.ShardReadError`.  Planned per *read* (keyed on
+  ``(seed, shard_id, read_index)``), not per epoch.
 """
 
 from __future__ import annotations
@@ -115,6 +120,10 @@ class FaultSpec:
     drop_rate: float = 0.0
     stale_rate: float = 0.0
     dropout_rate: float = 0.0
+    #: per-attempt probability that a shard read from the out-of-core store
+    #: fails transiently (retried under the store's RetryPolicy; exhaustion
+    #: raises ShardReadError) — planned per read, not per epoch
+    shard_read_failure_rate: float = 0.0
     max_consecutive_failures: int = 5
     seed: int = 0
 
@@ -139,6 +148,7 @@ class FaultSpec:
             and self.drop_rate == 0.0
             and self.stale_rate == 0.0
             and self.dropout_rate == 0.0
+            and self.shard_read_failure_rate == 0.0
         )
 
     def with_seed(self, seed: int) -> "FaultSpec":
@@ -157,6 +167,7 @@ SCENARIOS: dict[str, FaultSpec] = {
         send_failure_rate=0.20, recv_failure_rate=0.10, drop_rate=0.05
     ),
     "worker-dropout": FaultSpec(dropout_rate=0.15),
+    "flaky-disk": FaultSpec(shard_read_failure_rate=0.25),
     "straggler-drop": FaultSpec(
         straggler_rate=0.25,
         straggler_multiplier=4.0,
@@ -217,6 +228,33 @@ class FaultInjector:
     def is_null(self) -> bool:
         return self.spec.is_null
 
+    def _any_epoch_rate(self) -> bool:
+        """True when any per-epoch worker fault can trigger."""
+        s = self.spec
+        return (
+            s.straggler_rate > 0.0
+            or s.send_failure_rate > 0.0
+            or s.recv_failure_rate > 0.0
+            or s.drop_rate > 0.0
+            or s.stale_rate > 0.0
+            or s.dropout_rate > 0.0
+        )
+
+    def plan_shard_read(self, shard_id: int, read_index: int) -> int:
+        """Transient failures striking the ``read_index``-th read of a shard.
+
+        Keyed on ``(seed, shard_id, read_index)`` rather than any global
+        counter, so the schedule is independent of how reads from multiple
+        workers or prefetch threads interleave.
+        """
+        rate = self.spec.shard_read_failure_rate
+        if rate <= 0.0:
+            return 0
+        rng = np.random.default_rng(
+            [self.spec.seed, 0x5A4D, int(shard_id), int(read_index)]
+        )
+        return self._count_failures(rng, rate)
+
     def _count_failures(self, rng: np.random.Generator, rate: float) -> int:
         """Consecutive transient failures before a successful attempt."""
         if rate <= 0.0:
@@ -235,6 +273,10 @@ class FaultInjector:
             raise ValueError("n_workers must be >= 1")
         s = self.spec
         if s.is_null:
+            return [_NO_FAULTS] * n_workers
+        if not self._any_epoch_rate():
+            # shard-read-only scenario: epoch plans are all benign (and
+            # consume no randomness, keeping trajectories bit-identical)
             return [_NO_FAULTS] * n_workers
         rng = np.random.default_rng([s.seed, int(epoch)])
         plan: list[WorkerEpochFaults] = []

@@ -16,6 +16,14 @@ Scope: sequential-SCD local solvers (the paper's CPU cluster), both
 formulations, averaging/adaptive/adding aggregation.  The GPU solvers stay
 simulation-only — their device model has no OS-process counterpart.
 
+Shard stores: a ``shards=`` argument aligns the worker partitions to the
+store's contiguous shard groups and builds each child's payload by
+assembling its group from disk (bit-identical to ``take_major`` over the
+same coordinates).  Streaming stops there — child processes hold their
+materialized partition for the whole run, because per-epoch re-reads only
+exist to *model* cache pressure and real processes have no simulated
+clock to bill them against.
+
 Fault injection: the backend honours the *functional* faults of a
 :class:`~repro.cluster.faults.FaultInjector` — worker dropout (the child is
 simply not asked to run the epoch) and lost updates (drop, stale-as-drop,
@@ -39,6 +47,7 @@ from ..core.distributed import DistributedTrainResult
 from ..metrics import ConvergenceHistory, ConvergenceRecord
 from ..objectives.ridge import RidgeProblem
 from ..obs import resolve_tracer
+from ..shards import ShardingConfig, ShardStore
 from ..solvers.kernels import dual_epoch_sequential, primal_epoch_sequential
 from .faults import (
     DEFAULT_RETRY,
@@ -138,6 +147,8 @@ class MpDistributedSCD:
         seed: int = 0,
         mp_context: str | None = None,
         faults: FaultInjector | FaultSpec | str | None = None,
+        partitioner=None,
+        shards: ShardingConfig | ShardStore | None = None,
     ) -> None:
         if formulation not in ("primal", "dual"):
             raise ValueError(f"unknown formulation {formulation!r}")
@@ -148,6 +159,18 @@ class MpDistributedSCD:
         self.aggregator = make_aggregator(aggregation)
         self.seed = int(seed)
         self.faults = make_fault_injector(faults)
+        self.partitioner = partitioner or random_partition
+        if isinstance(shards, ShardStore):
+            shards = ShardingConfig(store=shards)
+        self.shards = shards
+        if self.shards is not None:
+            axis = "cols" if formulation == "primal" else "rows"
+            if self.shards.store.axis != axis:
+                raise ValueError(
+                    f"{formulation} formulation needs a {axis!r}-axis shard "
+                    f"set, got {self.shards.store.axis!r}"
+                )
+        self._groups: list[list[int]] | None = None
         self._ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
         self.name = (
             f"MpDistributed[SCD x{self.n_workers}, "
@@ -156,18 +179,38 @@ class MpDistributedSCD:
 
     # -- helpers ------------------------------------------------------------
     def _partitions(self, problem: RidgeProblem) -> list[np.ndarray]:
-        rng = np.random.default_rng(self.seed)
         n_coords = problem.m if self.formulation == "primal" else problem.n
-        return list(random_partition(n_coords, self.n_workers, rng))
+        if self.shards is not None:
+            store = self.shards.store
+            if store.n_major != n_coords:
+                raise ValueError(
+                    f"shard set covers {store.n_major} coordinates, "
+                    f"problem has {n_coords}"
+                )
+            self._groups = store.partition(self.n_workers)
+            return [store.coords_of(g) for g in self._groups]
+        rng = np.random.default_rng(self.seed)
+        return list(self.partitioner(n_coords, self.n_workers, rng))
 
     def _payloads(self, problem: RidgeProblem, parts: Sequence[np.ndarray]):
         if self.formulation == "primal":
             matrix = problem.dataset.csc
         else:
             matrix = problem.dataset.csr
+        if self.shards is not None and self.shards.store.shape != matrix.shape:
+            raise ValueError(
+                f"shard set covers a {self.shards.store.shape} matrix, "
+                f"problem matrix is {matrix.shape}"
+            )
         payloads = []
         for rank, coords in enumerate(parts):
-            local = matrix.take_major(coords)
+            if self._groups is not None:
+                # materialize the child's partition straight from the shard
+                # store; contiguous-group assembly is bitwise identical to
+                # take_major over the same coordinates
+                local, _ = self.shards.store.assemble(self._groups[rank])
+            else:
+                local = matrix.take_major(coords)
             y_local = (
                 problem.y.astype(np.float64)
                 if self.formulation == "primal"

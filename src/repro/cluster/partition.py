@@ -20,6 +20,7 @@ __all__ = [
     "contiguous_partition",
     "balanced_nnz_partition",
     "proportional_partition",
+    "shard_aligned_partition",
 ]
 
 
@@ -84,6 +85,31 @@ def proportional_partition(
     return [
         np.sort(perm[bounds[k] : bounds[k + 1]]) for k in range(n_parts)
     ]
+
+
+def shard_aligned_partition(store):
+    """A partitioner whose parts map 1:1 onto shard-group boundaries.
+
+    ``store`` is a :class:`~repro.shards.store.ShardStore` (duck-typed: any
+    object with ``n_major``, ``partition`` and ``coords_of``).  The returned
+    callable has the standard ``(n_items, n_parts, rng)`` partitioner
+    signature but ignores ``rng``: parts are the store's contiguous,
+    byte-balanced shard groups.  Feeding it to an *in-memory* engine yields
+    exactly the partitions the out-of-core engine derives from the same
+    store — the alignment the bit-identity guarantee rests on.
+    """
+
+    def partition(
+        n_items: int, n_parts: int, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        if n_items != store.n_major:
+            raise ValueError(
+                f"store covers {store.n_major} coordinates, "
+                f"engine asked to partition {n_items}"
+            )
+        return [store.coords_of(group) for group in store.partition(n_parts)]
+
+    return partition
 
 
 def balanced_nnz_partition(

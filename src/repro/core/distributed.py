@@ -45,6 +45,7 @@ from ..metrics import ConvergenceHistory, ConvergenceRecord
 from ..objectives.ridge import RidgeProblem
 from ..obs import resolve_tracer
 from ..perf.link import Link
+from ..shards import ShardingConfig, ShardStore, ShardStreamer
 from ..solvers.base import BoundKernel, KernelFactory, TrainResult
 from .aggregation import AggregationStats, Aggregator, make_aggregator
 from .scale import PaperScale
@@ -81,6 +82,8 @@ class _WorkerState:
     epoch_compute_s: float
     perm: np.ndarray | None = None
     cursor: int = 0
+    #: out-of-core data path for this worker's shard group (None = in-memory)
+    streamer: ShardStreamer | None = None
     #: update computed last epoch but delayed in transit (stale-update fault);
     #: delivered to the next aggregation round
     stale_buffer: tuple[np.ndarray, np.ndarray] | None = None
@@ -162,6 +165,18 @@ class DistributedSCD:
         time are booked into the ledger's ``comm_retry`` /
         ``wait_straggler`` phases.  A zero-rate injector is a bit-identical
         no-op.  See ``docs/fault_model.md``.
+    shards:
+        Out-of-core data path: a :class:`~repro.shards.ShardingConfig` (or a
+        bare :class:`~repro.shards.ShardStore`, wrapped with defaults).
+        Worker partitions then map 1:1 onto contiguous shard groups
+        (``partitioner`` is ignored), each worker streams its group through
+        a byte-budgeted :class:`~repro.shards.ShardCache` every epoch, and
+        the re-read transfers are billed into the ledger's ``shard_stream``
+        / ``shard_retry`` phases.  The store's axis must match the
+        formulation (``cols`` for primal, ``rows`` for dual).  Training is
+        bit-identical to the in-memory path under
+        :func:`~repro.cluster.partition.shard_aligned_partition`.  See
+        ``docs/data_pipeline.md``.
     """
 
     def __init__(
@@ -180,6 +195,7 @@ class DistributedSCD:
         | None = None,
         round_fraction: float = 1.0,
         faults: FaultInjector | FaultSpec | str | None = None,
+        shards: ShardingConfig | ShardStore | None = None,
     ) -> None:
         if formulation not in ("primal", "dual"):
             raise ValueError(f"unknown formulation {formulation!r}")
@@ -206,6 +222,16 @@ class DistributedSCD:
         self.partitioner = partitioner or random_partition
         self.round_fraction = float(round_fraction)
         self.faults = make_fault_injector(faults)
+        if isinstance(shards, ShardStore):
+            shards = ShardingConfig(store=shards)
+        self.shards = shards
+        if self.shards is not None:
+            axis = "cols" if formulation == "primal" else "rows"
+            if self.shards.store.axis != axis:
+                raise ValueError(
+                    f"{formulation} formulation needs a {axis!r}-axis shard "
+                    f"set, got {self.shards.store.axis!r}"
+                )
         self._solver_label: str = ""
 
     @property
@@ -227,15 +253,37 @@ class DistributedSCD:
         else:
             matrix = problem.dataset.csr
             n_coords_total = problem.n
-        parts = list(self.partitioner(n_coords_total, self.n_workers, rng))
+        groups: list[list[int]] | None = None
+        if self.shards is not None:
+            store = self.shards.store
+            if store.n_major != n_coords_total or store.shape != matrix.shape:
+                raise ValueError(
+                    f"shard set covers a {store.shape} matrix, "
+                    f"problem matrix is {matrix.shape}"
+                )
+            groups = store.partition(self.n_workers)
+            parts = [store.coords_of(g) for g in groups]
+        else:
+            parts = list(self.partitioner(n_coords_total, self.n_workers, rng))
         total_nnz = matrix.nnz
         workers: list[_WorkerState] = []
         for rank, coords in enumerate(parts):
-            local = matrix.take_major(coords)
+            streamer = None
+            if groups is not None:
+                streamer = ShardStreamer(
+                    self.shards, groups[rank], tracer=tracer, worker=rank
+                )
+                local = streamer.assemble()
+            else:
+                local = matrix.take_major(coords)
             factory = self._factory_for(rank)
             if tracer is not None and tracer.enabled:
                 # device factories forward the tracer to their wave engines
                 factory.tracer = tracer
+            if streamer is not None:
+                # device factories skip the bulk dataset allocation: the
+                # shard cache books residency against device memory instead
+                factory.out_of_core = True
             if self.paper_scale is not None:
                 factory.timing_workload = self.paper_scale.worker_workload(
                     self.formulation,
@@ -248,6 +296,12 @@ class DistributedSCD:
             else:
                 y_local = problem.y[coords]
                 bound = factory.bind_dual(local, y_local, problem.n, problem.lam)
+            if streamer is not None:
+                device = getattr(factory, "device", None)
+                if device is not None:
+                    # residency competes with the solver's vectors on-device;
+                    # attach after bind so the reset device is the budget
+                    streamer.attach_device(device.memory)
             if not self._solver_label:
                 self._solver_label = factory.name
             workers.append(
@@ -258,6 +312,7 @@ class DistributedSCD:
                     y_local=y_local.astype(bound.dtype, copy=False),
                     rng=np.random.default_rng(self.seed + 1000 + rank),
                     epoch_compute_s=bound.epoch_seconds(),
+                    streamer=streamer,
                 )
             )
         return workers
@@ -331,11 +386,16 @@ class DistributedSCD:
                     wall_time=0.0, updates=0,
                 )
             )
-            self._run_epochs(
-                problem, workers, shared, history, ledger, gammas,
-                comm_bytes, paper_shared, t0, n_epochs, monitor_every,
-                target_gap, tracer,
-            )
+            try:
+                self._run_epochs(
+                    problem, workers, shared, history, ledger, gammas,
+                    comm_bytes, paper_shared, t0, n_epochs, monitor_every,
+                    target_gap, tracer,
+                )
+            finally:
+                for wk in workers:
+                    if wk.streamer is not None:
+                        wk.streamer.close()
 
         weights = self._global_weights(workers, problem)
         report = self._last_report
@@ -395,6 +455,7 @@ class DistributedSCD:
                 dmodel_norm_sq = 0.0
                 dmodel_dot_y = 0.0
                 max_compute = 0.0
+                max_wall = 0.0  # compute + exposed shard streaming per worker
                 fault_free_compute = 0.0
                 retry_s = 0.0
                 any_computed = False
@@ -438,9 +499,16 @@ class DistributedSCD:
                         dshared_part = local_shared.astype(np.float64) - shared
                         compute_s = wk.epoch_compute_s * self.round_fraction
                         fault_free_compute = max(fault_free_compute, compute_s)
-                        max_compute = max(
-                            max_compute, compute_s * wf.straggler_multiplier
-                        )
+                        worker_wall = compute_s * wf.straggler_multiplier
+                        max_compute = max(max_compute, worker_wall)
+                        if wk.streamer is not None:
+                            # stream the shard group once per local epoch;
+                            # with prefetch only the excess over compute
+                            # extends this worker's wall clock
+                            worker_wall += wk.streamer.stream_epoch(
+                                ledger, compute_s=worker_wall
+                            )
+                        max_wall = max(max_wall, worker_wall)
                         compute_component = wk.bound.timing.component
                         updates += perm.shape[0]
                         any_computed = True
@@ -514,7 +582,7 @@ class DistributedSCD:
 
                 # -- time accounting ----------------------------------------
                 ledger.add(compute_component, fault_free_compute)
-                epoch_time = max_compute
+                epoch_time = max(max_compute, max_wall)
                 straggler_wait = max_compute - fault_free_compute
                 if straggler_wait > 0.0:
                     ledger.add("wait_straggler", straggler_wait)

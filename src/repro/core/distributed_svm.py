@@ -35,6 +35,7 @@ from ..objectives.svm import SvmProblem
 from ..obs import resolve_tracer
 from ..perf.link import Link
 from ..perf.timing import EpochWorkload
+from ..shards import ShardingConfig, ShardStore, ShardStreamer
 from ..solvers.base import TrainResult
 from .scale import PaperScale
 
@@ -65,6 +66,11 @@ class DistributedSvm:
 
     Parameters mirror the ridge engine where they apply; ``sigma_prime``
     scales the aggregation between averaging (1) and adding (K).
+    ``partitioner`` overrides the paper's random example partition;
+    ``shards`` switches the data path to an out-of-core
+    :class:`~repro.shards.ShardStore` (rows axis), with worker partitions
+    aligned to shard-group boundaries and per-epoch streaming billed into
+    the ledger's ``shard_stream`` / ``shard_retry`` phases.
     """
 
     def __init__(
@@ -77,6 +83,8 @@ class DistributedSvm:
         paper_scale: PaperScale | None = None,
         seed: int = 0,
         faults: FaultInjector | FaultSpec | str | None = None,
+        partitioner=None,
+        shards: ShardingConfig | ShardStore | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -93,6 +101,15 @@ class DistributedSvm:
         self.paper_scale = paper_scale
         self.seed = int(seed)
         self.faults = make_fault_injector(faults)
+        self.partitioner = partitioner or random_partition
+        if isinstance(shards, ShardStore):
+            shards = ShardingConfig(store=shards)
+        self.shards = shards
+        if self.shards is not None and self.shards.store.axis != "rows":
+            raise ValueError(
+                "DistributedSvm partitions examples: needs a 'rows'-axis "
+                f"shard set, got {self.shards.store.axis!r}"
+            )
         #: populated by :meth:`solve` when fault injection is active
         self.fault_report: FaultReport | None = None
         self.name = f"DistributedSVM[x{self.n_workers}, sigma'={sigma_prime:g}]"
@@ -116,13 +133,31 @@ class DistributedSvm:
         self.comm.metrics = tracer.metrics if tracer.enabled else None
         rng = np.random.default_rng(self.seed)
         csr = problem.dataset.csr
-        parts = random_partition(problem.n, self.n_workers, rng)
+        groups: list[list[int]] | None = None
+        if self.shards is not None:
+            store = self.shards.store
+            if store.n_major != problem.n or store.shape != csr.shape:
+                raise ValueError(
+                    f"shard set covers a {store.shape} matrix, "
+                    f"problem matrix is {csr.shape}"
+                )
+            groups = store.partition(self.n_workers)
+            parts = [store.coords_of(g) for g in groups]
+        else:
+            parts = list(self.partitioner(problem.n, self.n_workers, rng))
         y = problem.y.astype(np.float64)
         inv_lam_n = 1.0 / (problem.lam * problem.n)
 
         workers = []
         for rank, rows in enumerate(parts):
-            local = csr.take_rows(rows)
+            streamer = None
+            if groups is not None:
+                streamer = ShardStreamer(
+                    self.shards, groups[rank], tracer=tracer, worker=rank
+                )
+                local = streamer.assemble()
+            else:
+                local = csr.take_rows(rows)
             workers.append(
                 {
                     "rows": rows,
@@ -134,6 +169,7 @@ class DistributedSvm:
                     "alpha": np.zeros(rows.shape[0]),
                     "rng": np.random.default_rng(self.seed + 1000 + rank),
                     "nnz": local.nnz,
+                    "streamer": streamer,
                 }
             )
 
@@ -174,131 +210,144 @@ class DistributedSvm:
 
         sim = 0.0
         updates = 0
-        for epoch in range(1, n_epochs + 1):
-            epoch_span = tracer.span("epoch", category="driver", epoch=epoch)
-            epoch_span.__enter__()
-            plan = (
-                injector.plan_epoch(epoch, self.n_workers)
-                if injector is not None
-                else None
-            )
-            if report is not None:
-                report.epochs += 1
-            arrived: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-            max_compute = 0.0
-            fault_free_compute = 0.0
-            retry_s = 0.0
-            for rank, wk in enumerate(workers):
-                wf = plan[rank] if plan is not None else benign
-                if wf.dropout:
-                    report.dropouts += 1
-                    continue
-                local_w = w.copy()
-                indptr, indices, data = wk["indptr"], wk["indices"], wk["data"]
-                alpha, y_loc, norms = wk["alpha"], wk["y"], wk["norms"]
-                pending = np.zeros(alpha.shape[0])
-                for i in wk["rng"].permutation(alpha.shape[0]):
-                    lo, hi = indptr[i], indptr[i + 1]
-                    idx = indices[lo:hi]
-                    v = data[lo:hi]
-                    margin = float(v @ local_w[idx]) if lo != hi else 0.0
-                    # inline clipped SDCA step with the *local* labels
-                    if norms[i] > 0.0:
-                        grad = (
-                            problem.lam * problem.n * (1.0 - y_loc[i] * margin)
-                            / norms[i]
-                        )
-                        new_a = min(max(alpha[i] + grad, 0.0), 1.0)
-                    else:
-                        new_a = 1.0
-                    d = new_a - alpha[i]
-                    if d != 0.0:
-                        pending[i] += d
-                        alpha[i] = new_a
-                        if lo != hi:
-                            local_w[idx] += v * (d * y_loc[i] * inv_lam_n)
-                wl = EpochWorkload(
-                    n_coords=alpha.shape[0]
-                    if self.paper_scale is None
-                    else max(1, self.paper_scale.n_examples // self.n_workers),
-                    nnz=wk["nnz"]
-                    if self.paper_scale is None
-                    else max(1, self.paper_scale.nnz // self.n_workers),
-                    shared_len=problem.m,
+        try:
+            for epoch in range(1, n_epochs + 1):
+                epoch_span = tracer.span("epoch", category="driver", epoch=epoch)
+                epoch_span.__enter__()
+                plan = (
+                    injector.plan_epoch(epoch, self.n_workers)
+                    if injector is not None
+                    else None
                 )
-                compute_s = timing.epoch_seconds(wl)
-                fault_free_compute = max(fault_free_compute, compute_s)
-                max_compute = max(
-                    max_compute, compute_s * wf.straggler_multiplier
-                )
-                updates += alpha.shape[0]
                 if report is not None:
-                    if wf.straggler_multiplier > 1.0:
-                        report.stragglers += 1
-                    report.transient_failures += (
-                        wf.send_failures + wf.recv_failures
+                    report.epochs += 1
+                arrived: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+                max_compute = 0.0
+                max_wall = 0.0  # compute + exposed shard streaming per worker
+                fault_free_compute = 0.0
+                retry_s = 0.0
+                for rank, wk in enumerate(workers):
+                    wf = plan[rank] if plan is not None else benign
+                    if wf.dropout:
+                        report.dropouts += 1
+                        continue
+                    local_w = w.copy()
+                    indptr, indices, data = wk["indptr"], wk["indices"], wk["data"]
+                    alpha, y_loc, norms = wk["alpha"], wk["y"], wk["norms"]
+                    pending = np.zeros(alpha.shape[0])
+                    for i in wk["rng"].permutation(alpha.shape[0]):
+                        lo, hi = indptr[i], indptr[i + 1]
+                        idx = indices[lo:hi]
+                        v = data[lo:hi]
+                        margin = float(v @ local_w[idx]) if lo != hi else 0.0
+                        # inline clipped SDCA step with the *local* labels
+                        if norms[i] > 0.0:
+                            grad = (
+                                problem.lam * problem.n * (1.0 - y_loc[i] * margin)
+                                / norms[i]
+                            )
+                            new_a = min(max(alpha[i] + grad, 0.0), 1.0)
+                        else:
+                            new_a = 1.0
+                        d = new_a - alpha[i]
+                        if d != 0.0:
+                            pending[i] += d
+                            alpha[i] = new_a
+                            if lo != hi:
+                                local_w[idx] += v * (d * y_loc[i] * inv_lam_n)
+                    wl = EpochWorkload(
+                        n_coords=alpha.shape[0]
+                        if self.paper_scale is None
+                        else max(1, self.paper_scale.n_examples // self.n_workers),
+                        nnz=wk["nnz"]
+                        if self.paper_scale is None
+                        else max(1, self.paper_scale.nnz // self.n_workers),
+                        shared_len=problem.m,
                     )
-                retry_s += self.comm.retry_seconds(shared_bytes, wf.send_failures)
-                retry_s += self.comm.retry_seconds(shared_bytes, wf.recv_failures)
-                lost = (
-                    wf.drop_update
-                    or wf.stale_update  # SDCA keeps no stale buffer: lost
-                    or self.comm.retry.exhausted(wf.send_failures)
-                )
-                if lost:
-                    report.dropped_updates += 1
-                    # the master never saw this delta; revert the local dual
-                    # variables so they stay consistent with w
-                    alpha -= pending
-                    continue
-                arrived.append((local_w - w, pending, alpha))
+                    compute_s = timing.epoch_seconds(wl)
+                    fault_free_compute = max(fault_free_compute, compute_s)
+                    worker_wall = compute_s * wf.straggler_multiplier
+                    max_compute = max(max_compute, worker_wall)
+                    if wk["streamer"] is not None:
+                        # stream the shard group once per local epoch; with
+                        # prefetch only the excess over compute extends this
+                        # worker's wall clock
+                        worker_wall += wk["streamer"].stream_epoch(
+                            ledger, compute_s=worker_wall
+                        )
+                    max_wall = max(max_wall, worker_wall)
+                    updates += alpha.shape[0]
+                    if report is not None:
+                        if wf.straggler_multiplier > 1.0:
+                            report.stragglers += 1
+                        report.transient_failures += (
+                            wf.send_failures + wf.recv_failures
+                        )
+                    retry_s += self.comm.retry_seconds(shared_bytes, wf.send_failures)
+                    retry_s += self.comm.retry_seconds(shared_bytes, wf.recv_failures)
+                    lost = (
+                        wf.drop_update
+                        or wf.stale_update  # SDCA keeps no stale buffer: lost
+                        or self.comm.retry.exhausted(wf.send_failures)
+                    )
+                    if lost:
+                        report.dropped_updates += 1
+                        # the master never saw this delta; revert the local dual
+                        # variables so they stay consistent with w
+                        alpha -= pending
+                        continue
+                    arrived.append((local_w - w, pending, alpha))
 
-            n_arrived = len(arrived)
-            if report is not None:
-                report.survivor_counts.append(n_arrived)
-            with tracer.span(
-                "aggregate", category="cluster", epoch=epoch, survivors=n_arrived
-            ):
-                # CoCoA's gamma = sigma'/K, rescaled over the K' survivors
-                gamma = self.sigma_prime / n_arrived if n_arrived else 0.0
-                dw_total = np.zeros(problem.m)
-                for dw, pending, alpha_ref in arrived:
-                    dw_total += dw
-                    # scale the local dual variables to stay consistent with
-                    # the gamma-scaled global update
-                    if gamma != 1.0:
-                        alpha_ref -= (1.0 - gamma) * pending
-                        np.clip(alpha_ref, 0.0, 1.0, out=alpha_ref)
-                w += gamma * dw_total
-            per_epoch_net = self.comm.allreduce_seconds(shared_bytes)
-            ledger.add("compute_host", fault_free_compute)
-            straggler_wait = max_compute - fault_free_compute
-            if straggler_wait > 0.0:
-                ledger.add("wait_straggler", straggler_wait)
-                tracer.count("dist.straggler_wait_s", straggler_wait)
-            ledger.add("comm_network", per_epoch_net)
-            if retry_s > 0.0:
-                ledger.add("comm_retry", retry_s)
-            sim += max_compute + per_epoch_net + retry_s
-            epoch_span.__exit__(None, None, None)
-            tracer.count("dist.epochs")
-            tracer.observe("dist.gamma", gamma)
-            tracer.observe("dist.survivors", n_arrived)
-            if epoch % monitor_every == 0 or epoch == n_epochs:
-                with tracer.span("gap_eval", category="monitor", epoch=epoch):
-                    gap, obj = gap_of()
-                history.append(
-                    ConvergenceRecord(
-                        epoch=epoch,
-                        gap=gap,
-                        objective=obj,
-                        sim_time=sim,
-                        wall_time=time.perf_counter() - t0,
-                        updates=updates,
+                n_arrived = len(arrived)
+                if report is not None:
+                    report.survivor_counts.append(n_arrived)
+                with tracer.span(
+                    "aggregate", category="cluster", epoch=epoch, survivors=n_arrived
+                ):
+                    # CoCoA's gamma = sigma'/K, rescaled over the K' survivors
+                    gamma = self.sigma_prime / n_arrived if n_arrived else 0.0
+                    dw_total = np.zeros(problem.m)
+                    for dw, pending, alpha_ref in arrived:
+                        dw_total += dw
+                        # scale the local dual variables to stay consistent with
+                        # the gamma-scaled global update
+                        if gamma != 1.0:
+                            alpha_ref -= (1.0 - gamma) * pending
+                            np.clip(alpha_ref, 0.0, 1.0, out=alpha_ref)
+                    w += gamma * dw_total
+                per_epoch_net = self.comm.allreduce_seconds(shared_bytes)
+                ledger.add("compute_host", fault_free_compute)
+                straggler_wait = max_compute - fault_free_compute
+                if straggler_wait > 0.0:
+                    ledger.add("wait_straggler", straggler_wait)
+                    tracer.count("dist.straggler_wait_s", straggler_wait)
+                ledger.add("comm_network", per_epoch_net)
+                if retry_s > 0.0:
+                    ledger.add("comm_retry", retry_s)
+                sim += max(max_compute, max_wall) + per_epoch_net + retry_s
+                epoch_span.__exit__(None, None, None)
+                tracer.count("dist.epochs")
+                tracer.observe("dist.gamma", gamma)
+                tracer.observe("dist.survivors", n_arrived)
+                if epoch % monitor_every == 0 or epoch == n_epochs:
+                    with tracer.span("gap_eval", category="monitor", epoch=epoch):
+                        gap, obj = gap_of()
+                    history.append(
+                        ConvergenceRecord(
+                            epoch=epoch,
+                            gap=gap,
+                            objective=obj,
+                            sim_time=sim,
+                            wall_time=time.perf_counter() - t0,
+                            updates=updates,
+                        )
                     )
-                )
-                if target_gap is not None and gap <= target_gap:
-                    break
+                    if target_gap is not None and gap <= target_gap:
+                        break
+        finally:
+            for wk in workers:
+                if wk["streamer"] is not None:
+                    wk["streamer"].close()
 
         root_span.__exit__(None, None, None)
         alpha_global = np.zeros(problem.n)

@@ -60,6 +60,12 @@ class TpaScdKernelFactory:
     simulated_dataset_nbytes:
         Paper-scale footprint to book against device memory instead of the
         in-process array sizes (see Fig. 10's 40 GB criteo sample).
+    out_of_core:
+        When True the bulk ``"dataset"`` allocation is skipped at bind time:
+        the data does not live resident on the device but streams through a
+        :class:`~repro.shards.ShardCache`, which books per-shard residency
+        against this device's memory itself.  Set automatically by the
+        distributed engine when a ``shards=`` config is supplied.
     """
 
     def __init__(
@@ -70,6 +76,7 @@ class TpaScdKernelFactory:
         wave_size: int | None = None,
         dtype=np.float32,
         simulated_dataset_nbytes: int | None = None,
+        out_of_core: bool = False,
         timing_workload: EpochWorkload | None = None,
         profiler: "KernelProfile | None" = None,
         tracer=None,
@@ -83,6 +90,7 @@ class TpaScdKernelFactory:
         self.wave_size = int(wave_size) if wave_size is not None else None
         self.dtype = np.dtype(dtype)
         self.simulated_dataset_nbytes = simulated_dataset_nbytes
+        self.out_of_core = bool(out_of_core)
         self.timing_workload = timing_workload
         self.name = f"TPA-SCD({device.spec.name})"
 
@@ -95,14 +103,15 @@ class TpaScdKernelFactory:
     def _book_memory(self, matrix, n_vec_elems: int) -> None:
         """Account for the partition + model/shared vectors on the device."""
         self.device.reset()
-        nbytes = (
-            self.simulated_dataset_nbytes
-            if self.simulated_dataset_nbytes is not None
-            else matrix.indptr.nbytes
-            + matrix.indices.nbytes
-            + matrix.nnz * self.dtype.itemsize
-        )
-        self.device.memory.alloc("dataset", int(nbytes))
+        if not self.out_of_core:
+            nbytes = (
+                self.simulated_dataset_nbytes
+                if self.simulated_dataset_nbytes is not None
+                else matrix.indptr.nbytes
+                + matrix.indices.nbytes
+                + matrix.nnz * self.dtype.itemsize
+            )
+            self.device.memory.alloc("dataset", int(nbytes))
         self.device.alloc_vector("vectors", n_vec_elems, self.dtype.itemsize)
 
     def bind_primal(

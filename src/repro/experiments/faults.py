@@ -129,13 +129,17 @@ def run_fault_breakdown(scale: ScaleConfig | None = None) -> FigureResult:
 
 def scenario_table() -> str:
     """Human-readable table of the named fault scenarios (CLI `faults`)."""
-    rows = ["scenario         straggler  send-fail  recv-fail  drop   stale  dropout"]
+    rows = [
+        "scenario         straggler  send-fail  recv-fail  drop   stale  "
+        "dropout  disk"
+    ]
     for name in sorted(SCENARIOS):
         s = SCENARIOS[name]
         rows.append(
             f"{name:<16} {s.straggler_rate:>9.2f}  {s.send_failure_rate:>9.2f}  "
             f"{s.recv_failure_rate:>9.2f}  {s.drop_rate:>5.2f}  "
-            f"{s.stale_rate:>5.2f}  {s.dropout_rate:>7.2f}"
+            f"{s.stale_rate:>5.2f}  {s.dropout_rate:>7.2f}  "
+            f"{s.shard_read_failure_rate:>4.2f}"
         )
     rows.append(
         "\nrates are per worker per epoch; see docs/fault_model.md for the "

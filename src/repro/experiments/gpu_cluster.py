@@ -16,7 +16,7 @@ import numpy as np
 
 from ..core.distributed import DistributedSCD
 from ..gpu.spec import GTX_TITAN_X, QUADRO_M4000, GpuSpec
-from ..perf.ledger import COMPONENTS, FAULT_COMPONENTS
+from ..perf.ledger import COMPONENTS, PAPER_COMPONENTS
 from ..perf.link import ETHERNET_10G, PCIE3_X16_PINNED, Link
 from .config import (
     ScaleConfig,
@@ -38,6 +38,8 @@ COMPONENT_LABELS = {
     "comm_network": "Comm. Time (Network)",
     "comm_retry": "Comm. Time (Retry)",
     "wait_straggler": "Wait Time (Straggler)",
+    "shard_stream": "Stream Time (Shards)",
+    "shard_retry": "Stream Time (Retry)",
 }
 
 
@@ -155,8 +157,8 @@ def run_fig9(scale: ScaleConfig | None = None) -> FigureResult:
     ks = np.asarray(WORKER_COUNTS, dtype=float)
     for comp in COMPONENTS:
         ys = np.asarray([breakdowns[k][comp] for k in WORKER_COUNTS])
-        if comp in FAULT_COMPONENTS and not ys.any():
-            continue  # fault-free run: keep the paper's four-phase stack
+        if comp not in PAPER_COMPONENTS and not ys.any():
+            continue  # fault-free in-memory run: keep the paper's four phases
         fig.add(
             CurveSeries(
                 label=COMPONENT_LABELS[comp],

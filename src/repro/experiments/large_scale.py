@@ -12,16 +12,30 @@ compared (K = 4 everywhere, dual formulation):
 We additionally reproduce the *memory gate*: booking the paper-scale 40 GB
 footprint on one simulated Titan X raises ``GpuOutOfMemoryError``, while a
 quarter of it fits on each of four devices.
+
+:func:`run_fig10_outofcore` then *defeats* the gate: the same 40 GB
+footprint trains on ONE 12 GB Titan X by streaming shard groups through a
+device-budgeted :class:`~repro.shards.ShardCache`, with the re-read PCIe
+traffic billed into the ledger's ``shard_stream`` phase — and the resulting
+weights bit-identical to the resident run.
 """
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+
+import numpy as np
+
+from ..cluster.partition import shard_aligned_partition
 from ..core.distributed import DistributedSCD
 from ..core.tpa_scd import TpaScdKernelFactory
 from ..gpu.device import GpuDevice
 from ..gpu.memory import GpuOutOfMemoryError
 from ..gpu.spec import GTX_TITAN_X
+from ..obs import Tracer, active_tracer
 from ..perf.link import ETHERNET_10G, PCIE3_X16_PINNED
+from ..shards import ShardingConfig, ShardStore, pack_dataset
 from .config import (
     ScaleConfig,
     active_scale,
@@ -33,7 +47,7 @@ from .config import (
 )
 from .results import CurveSeries, FigureResult
 
-__all__ = ["run_fig10", "CRITEO_PAPER_NBYTES"]
+__all__ = ["run_fig10", "run_fig10_outofcore", "CRITEO_PAPER_NBYTES"]
 
 #: the paper's criteo sample occupies ~40 GB in CSR
 CRITEO_PAPER_NBYTES = 40 * 2**30
@@ -132,5 +146,103 @@ def run_fig10(scale: ScaleConfig | None = None) -> FigureResult:
     fig.notes.append(
         "expected: TPA-SCD fastest by >10x; PASSCoDe-Wild's gap does not "
         "converge to zero; paper reports ~4 s to high accuracy on 4 GPUs"
+    )
+    return fig
+
+
+def run_fig10_outofcore(scale: ScaleConfig | None = None) -> FigureResult:
+    """Fig. 10 out-of-core variant: 40 GB streamed through one 12 GB GPU.
+
+    The criteo-like sample is packed into a rows-axis shard set billed at
+    the paper's 40 GB footprint; a single Titan X worker streams the shard
+    groups through a device-budgeted LRU cache (double-buffered prefetch
+    over the PCIe link model) instead of holding the dataset resident.
+    The run must finish without :class:`GpuOutOfMemoryError`, evict shards
+    along the way, and produce weights bit-identical to the resident run.
+    """
+    scale = scale or active_scale()
+    problem, paper = criteo_problem(scale)
+    n_epochs = epochs(40, scale)
+    monitor = max(1, n_epochs // 20)
+
+    tracer = active_tracer()
+    if not tracer.enabled:
+        tracer = Tracer()
+
+    def engine(**kwargs) -> DistributedSCD:
+        return DistributedSCD(
+            lambda rank: tpa_factory(
+                GTX_TITAN_X, paper, "dual", problem, n_workers=1
+            ),
+            "dual",
+            n_workers=1,
+            aggregation="adaptive",
+            network=PCIE3_X16_PINNED,
+            pcie=PCIE3_X16_PINNED,
+            paper_scale=paper,
+            seed=5,
+            **kwargs,
+        )
+
+    shard_dir = tempfile.mkdtemp(prefix="repro-fig10-shards-")
+    try:
+        pack_dataset(problem.dataset, shard_dir, axis="rows", n_shards=8)
+        store = ShardStore(shard_dir)
+        cfg = ShardingConfig(
+            store,
+            link=PCIE3_X16_PINNED,
+            prefetch=True,
+            simulated_total_nbytes=CRITEO_PAPER_NBYTES,
+        )
+        resident = engine(partitioner=shard_aligned_partition(store)).solve(
+            problem, n_epochs, monitor_every=monitor
+        )
+        streamed = engine(shards=cfg).solve(
+            problem, n_epochs, monitor_every=monitor, tracer=tracer
+        )
+    finally:
+        shutil.rmtree(shard_dir, ignore_errors=True)
+
+    metrics = tracer.metrics
+    fig = FigureResult(
+        figure_id="fig10-outofcore",
+        title="40 GB criteo-like footprint on one 12 GB Titan X (out-of-core)",
+        meta={
+            "scale": scale.name,
+            "n_epochs": n_epochs,
+            "simulated_nbytes": CRITEO_PAPER_NBYTES,
+            "device_capacity_gb": GTX_TITAN_X.mem_capacity_gb,
+            "bit_identical": bool(
+                np.array_equal(resident.weights, streamed.weights)
+            ),
+            "cache_misses": int(metrics.counter("shards.cache.miss")),
+            "cache_hits": int(metrics.counter("shards.cache.hit")),
+            "cache_evictions": int(metrics.counter("shards.cache.evict")),
+            "shard_stream_s": streamed.ledger.get("shard_stream"),
+        },
+    )
+    fig.add(
+        CurveSeries(
+            label="TPA-SCD (resident)",
+            x=resident.history.sim_times,
+            y=resident.history.gaps,
+            x_name="time(s)",
+            y_name="gap",
+            meta={"solver": "resident"},
+        )
+    )
+    fig.add(
+        CurveSeries(
+            label="TPA-SCD (out-of-core, 40 GB / 12 GB)",
+            x=streamed.history.sim_times,
+            y=streamed.history.gaps,
+            x_name="time(s)",
+            y_name="gap",
+            meta={"solver": "out-of-core"},
+        )
+    )
+    fig.notes.append(
+        "identical gap-vs-epoch trajectory; the out-of-core time axis is "
+        "stretched by the PCIe shard traffic the cache cannot hide"
     )
     return fig

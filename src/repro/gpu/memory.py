@@ -35,6 +35,11 @@ class DeviceMemory:
     def free_bytes(self) -> int:
         return self.capacity_bytes - self.used_bytes
 
+    @property
+    def bytes_free(self) -> int:
+        """Alias of :attr:`free_bytes` — the shard cache's budget check."""
+        return self.free_bytes
+
     def alloc(self, name: str, nbytes: int) -> None:
         """Reserve ``nbytes`` under ``name``; name must be unused."""
         if nbytes < 0:

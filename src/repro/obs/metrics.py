@@ -24,6 +24,12 @@ name                       meaning
 ``comm.retry_seconds``     modelled seconds lost to retries
 ``faults.*``               fault-report totals (dropouts, stragglers,
                            dropped/stale updates, retry exhaustion)
+``shards.cache.hit``       shard served warm from the LRU cache
+``shards.cache.miss``      shard read from disk (foreground or prefetch)
+``shards.cache.evict``     shard evicted to stay under the byte budget
+``shards.cache.bytes``     (gauge) bytes currently resident in the cache
+``shards.cache.bytes_read`` bytes loaded from disk into the cache
+``shards.read_retries``    shard reads retried after injected I/O faults
 ========================== ============================================
 """
 

@@ -1,6 +1,6 @@
 """Shared performance-model primitives: links, ledgers, timing protocol."""
 
-from .ledger import COMPONENTS, FAULT_COMPONENTS, TimeLedger
+from .ledger import COMPONENTS, FAULT_COMPONENTS, PAPER_COMPONENTS, TimeLedger
 from .link import (
     ETHERNET_10G,
     ETHERNET_100G,
@@ -13,6 +13,7 @@ from .timing import EpochWorkload, LocalTiming
 __all__ = [
     "COMPONENTS",
     "FAULT_COMPONENTS",
+    "PAPER_COMPONENTS",
     "TimeLedger",
     "Link",
     "ETHERNET_10G",

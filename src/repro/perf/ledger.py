@@ -11,16 +11,21 @@ Fault-aware runs book two further phases on top of the paper's four:
 and ``wait_straggler`` (barrier time spent waiting for slowed workers beyond
 the fault-free critical path), so a Fig. 9-style breakdown directly shows
 the overhead a fault scenario adds.
+
+Out-of-core runs (:mod:`repro.shards`) add two more: ``shard_stream``
+(host→device transfers of shards re-read on cache misses) and
+``shard_retry`` (retry cost of transient shard-read failures).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
-__all__ = ["TimeLedger", "COMPONENTS", "FAULT_COMPONENTS"]
+__all__ = ["TimeLedger", "COMPONENTS", "PAPER_COMPONENTS", "FAULT_COMPONENTS"]
 
 #: canonical component names: the paper's Fig. 9 stacking order, followed by
-#: the fault-overhead phases introduced by the chaos testbed
+#: the fault-overhead phases introduced by the chaos testbed and the
+#: out-of-core streaming phases introduced by the shard store
 COMPONENTS = (
     "compute_gpu",
     "compute_host",
@@ -28,10 +33,15 @@ COMPONENTS = (
     "comm_network",
     "comm_retry",
     "wait_straggler",
+    "shard_stream",
+    "shard_retry",
 )
 
+#: the paper's own four Fig. 9 phases (always shown in breakdown figures)
+PAPER_COMPONENTS = COMPONENTS[:4]
+
 #: the subset of :data:`COMPONENTS` that only fault injection can populate
-FAULT_COMPONENTS = ("comm_retry", "wait_straggler")
+FAULT_COMPONENTS = ("comm_retry", "wait_straggler", "shard_retry")
 
 
 class TimeLedger:

@@ -1,0 +1,46 @@
+"""repro.shards — out-of-core sharded dataset store.
+
+Packs a :class:`~repro.data.Dataset` into contiguous on-disk shards
+(:mod:`.format`), serves them lazily with integrity checks and injectable
+read faults (:mod:`.store`), keeps a byte-budgeted LRU residency optionally
+backed by simulated GPU memory (:mod:`.cache`), reads ahead on a background
+thread (:mod:`.prefetch`), and bills every disk read as a modelled
+host→device transfer so streaming cost lands in the
+:class:`~repro.perf.ledger.TimeLedger` (:mod:`.streaming`).
+
+The design contract: out-of-core training is **bit-identical** to in-memory
+training.  Shards are contiguous major-axis slices, worker groups are
+contiguous shard runs, and streaming only adds modelled time — it never
+touches solver random streams or data values.
+"""
+
+from .cache import CacheLookup, ShardCache
+from .format import (
+    MANIFEST_NAME,
+    SHARD_SCHEMA,
+    ShardManifest,
+    ShardMeta,
+    load_manifest,
+    pack_dataset,
+)
+from .prefetch import Prefetcher
+from .store import Shard, ShardHandle, ShardReadError, ShardStore
+from .streaming import ShardingConfig, ShardStreamer
+
+__all__ = [
+    "SHARD_SCHEMA",
+    "MANIFEST_NAME",
+    "ShardMeta",
+    "ShardManifest",
+    "pack_dataset",
+    "load_manifest",
+    "ShardHandle",
+    "Shard",
+    "ShardStore",
+    "ShardReadError",
+    "ShardCache",
+    "CacheLookup",
+    "Prefetcher",
+    "ShardingConfig",
+    "ShardStreamer",
+]

@@ -1,0 +1,253 @@
+"""Byte-budgeted LRU cache over a :class:`~repro.shards.store.ShardStore`.
+
+The cache is what turns the shard store into an *out-of-core* data path: a
+worker touches its shards every epoch, but only as many as fit the budget
+stay resident — the rest are re-read (and re-billed as host→device
+transfers) on the next pass, exactly the regime the paper's 40 GB criteo
+sample forces on a 12 GB Titan X.
+
+Two budget modes:
+
+* **byte budget** — a plain ``budget_bytes`` ceiling on billed resident
+  bytes (host-RAM streaming, or a fixed slice of device memory);
+* **device-backed** — ``attach_device(DeviceMemory)`` registers every
+  resident shard as a named allocation on the simulated GPU, so residency
+  competes with the solver's vectors and the budget check is the device's
+  ``bytes_free``.  Eviction frees the allocation; an individual shard larger
+  than the whole device still raises ``GpuOutOfMemoryError``, preserving
+  the paper's memory gate.
+
+Billing uses ``byte_scale`` to price the scaled-down reproduction data at
+paper-scale footprints (e.g. a few-MB synthetic criteo billed as 40 GB).
+
+Thread-safety: :meth:`fetch` may be called concurrently by the training
+thread and a :class:`~repro.shards.prefetch.Prefetcher`.  A per-shard
+in-flight latch deduplicates concurrent loads of the same shard.  Only the
+*foreground* path opens tracer spans (the span stack is single-threaded by
+design); metric counters are plain dict updates and safe from both sides.
+
+Accounting semantics (deterministic with or without prefetch):
+
+* ``shards.cache.miss`` counts disk reads, wherever they run;
+* a prefetched shard is inserted *fresh* — the first foreground fetch of a
+  fresh entry reports ``loaded=True`` so the streaming model bills its
+  transfer exactly once, same as an unprefetched miss;
+* ``shards.cache.hit`` counts foreground fetches served warm (non-fresh).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..obs import NULL_TRACER
+from .store import Shard, ShardStore
+
+__all__ = ["ShardCache", "CacheLookup"]
+
+
+@dataclass
+class CacheLookup:
+    """Outcome of one :meth:`ShardCache.fetch`."""
+
+    shard: Shard
+    #: served from residency (False = this call went to disk)
+    hit: bool
+    #: this fetch consumed a disk read the caller should bill (a miss, or
+    #: the first foreground touch of a prefetched shard)
+    loaded: bool
+    #: transient read failures survived by the billed load
+    read_failures: int = 0
+
+
+@dataclass
+class _Entry:
+    shard: Shard
+    billed: int
+    #: inserted by the prefetcher and not yet consumed by the foreground
+    fresh: bool = False
+    read_failures: int = 0
+
+
+class ShardCache:
+    """LRU residency of materialized shards under a byte budget."""
+
+    def __init__(
+        self,
+        store: ShardStore,
+        *,
+        budget_bytes: int | None = None,
+        byte_scale: float = 1.0,
+        tracer=None,
+    ) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        if byte_scale <= 0:
+            raise ValueError("byte_scale must be positive")
+        self.store = store
+        self.budget_bytes = budget_bytes
+        self.byte_scale = float(byte_scale)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._device = None  # DeviceMemory once attached
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._inflight: dict[int, threading.Event] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- budget ------------------------------------------------------------
+    def billed_bytes(self, shard_id: int) -> int:
+        """Bytes a shard is billed at (actual payload x ``byte_scale``)."""
+        return int(round(self.store.handles[shard_id].nbytes * self.byte_scale))
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return sum(e.billed for e in self._entries.values())
+
+    def attach_device(self, device_memory) -> None:
+        """Back residency with a simulated GPU's ``DeviceMemory``.
+
+        Must be attached while empty (attach right after the solver binds,
+        before the first epoch streams), so every resident shard has a
+        matching device allocation.
+        """
+        with self._lock:
+            if self._entries:
+                raise RuntimeError("attach_device requires an empty cache")
+            self._device = device_memory
+
+    def _fits(self, billed: int) -> bool:
+        if self._device is not None:
+            return billed <= self._device.bytes_free
+        if self.budget_bytes is not None:
+            return self.used_bytes + billed <= self.budget_bytes
+        return True
+
+    # -- core --------------------------------------------------------------
+    def fetch(self, shard_id: int, *, background: bool = False) -> CacheLookup:
+        """Return the shard, loading and caching it if necessary.
+
+        ``background=True`` marks a prefetcher call: the load is counted as
+        a miss and inserted fresh, but no tracer spans are opened and no hit
+        is recorded.
+        """
+        shard_id = int(shard_id)
+        while True:
+            with self._lock:
+                entry = self._entries.get(shard_id)
+                if entry is not None:
+                    self._entries.move_to_end(shard_id)
+                    if background:
+                        return CacheLookup(entry.shard, hit=True, loaded=False)
+                    if entry.fresh:
+                        # first foreground touch of a prefetched shard: the
+                        # disk read already happened, bill its transfer now
+                        entry.fresh = False
+                        return CacheLookup(
+                            entry.shard,
+                            hit=True,
+                            loaded=True,
+                            read_failures=entry.read_failures,
+                        )
+                    self.hits += 1
+                    self.tracer.count("shards.cache.hit")
+                    return CacheLookup(entry.shard, hit=True, loaded=False)
+                latch = self._inflight.get(shard_id)
+                if latch is None:
+                    self._inflight[shard_id] = latch = threading.Event()
+                    break  # this thread owns the load
+            # another thread is loading this shard: wait, then re-check
+            latch.wait()
+
+        try:
+            shard = self._load(shard_id, background=background)
+        finally:
+            with self._lock:
+                self._inflight.pop(shard_id).set()
+        return CacheLookup(
+            shard,
+            hit=False,
+            loaded=not background,
+            read_failures=shard.read_failures,
+        )
+
+    def _load(self, shard_id: int, *, background: bool) -> Shard:
+        billed = self.billed_bytes(shard_id)
+        span = (
+            NULL_TRACER.span("")
+            if background
+            else self.tracer.span(
+                "shard.load",
+                category="shards",
+                shard=shard_id,
+                nbytes=billed,
+            )
+        )
+        with span:
+            shard = self.store.read(shard_id)
+        with self._lock:
+            # counters are read-modify-write: keep them under the lock so
+            # concurrent prefetch/foreground loads of different shards
+            # cannot lose increments
+            self.misses += 1
+            self.tracer.count("shards.cache.miss")
+            self.tracer.count("shards.cache.bytes_read", billed)
+            self._evict_until_fits(billed, background=background)
+            if self._fits(billed):
+                if self._device is not None:
+                    self._device.alloc(self._buffer_name(shard_id), billed)
+                self._entries[shard_id] = _Entry(
+                    shard=shard,
+                    billed=billed,
+                    fresh=background,
+                    read_failures=shard.read_failures,
+                )
+            # else: shard larger than the whole budget — serve it transient
+            self.tracer.gauge("shards.cache.bytes", self.used_bytes)
+        return shard
+
+    def _buffer_name(self, shard_id: int) -> str:
+        return f"shard:{self.store.manifest.name}:{shard_id}"
+
+    def _evict_until_fits(self, billed: int, *, background: bool) -> None:
+        """Drop LRU entries (lock held) until ``billed`` fits the budget."""
+        while self._entries and not self._fits(billed):
+            victim_id, victim = self._entries.popitem(last=False)
+            if self._device is not None:
+                self._device.free(self._buffer_name(victim_id))
+            self.evictions += 1
+            self.tracer.count("shards.cache.evict")
+            if not background:
+                with self.tracer.span(
+                    "shard.evict",
+                    category="shards",
+                    shard=victim_id,
+                    nbytes=victim.billed,
+                ):
+                    pass
+
+    # -- maintenance -------------------------------------------------------
+    def contains(self, shard_id: int) -> bool:
+        with self._lock:
+            return int(shard_id) in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            if self._device is not None:
+                for shard_id in self._entries:
+                    self._device.free(self._buffer_name(shard_id))
+            self._entries.clear()
+            self.tracer.gauge("shards.cache.bytes", 0)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "resident": len(self._entries),
+                "used_bytes": sum(e.billed for e in self._entries.values()),
+            }

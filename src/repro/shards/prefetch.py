@@ -1,0 +1,74 @@
+"""Background-thread shard readahead.
+
+A :class:`Prefetcher` owns one daemon thread that pulls shard ids off a
+queue and loads them into a :class:`~repro.shards.cache.ShardCache` with
+``background=True`` — no tracer spans (the span stack is single-threaded),
+counters only.  The streaming layer drives it double-buffered: while the
+solver trains on shard *i*, shard *i+1* is read, so the modelled epoch cost
+overlaps streaming with compute.
+
+Read errors in the background are swallowed and recorded: the foreground
+fetch of that shard simply misses and performs its own (retried, fault-
+planned) synchronous read, which is where failures are allowed to surface.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from .cache import ShardCache
+
+__all__ = ["Prefetcher"]
+
+#: queue sentinel shutting the worker thread down
+_STOP = object()
+
+
+class Prefetcher:
+    """Single background thread feeding a :class:`ShardCache`."""
+
+    def __init__(self, cache: ShardCache, *, name: str = "shard-prefetch") -> None:
+        self.cache = cache
+        self.errors: list[Exception] = []
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._closed = False
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                self.cache.fetch(int(item), background=True)
+            except Exception as exc:  # surfaced via the foreground retry
+                self.errors.append(exc)
+            finally:
+                self._queue.task_done()
+
+    def schedule(self, shard_ids) -> None:
+        """Enqueue shards for background loading (FIFO)."""
+        if self._closed:
+            raise RuntimeError("prefetcher is closed")
+        for shard_id in shard_ids:
+            self._queue.put(int(shard_id))
+
+    def wait(self) -> None:
+        """Block until every scheduled load has been attempted."""
+        self._queue.join()
+
+    def close(self) -> None:
+        """Drain and stop the worker thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "Prefetcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -60,6 +60,38 @@ class TestDeviceMemory:
         assert mem.holds("x") and not mem.holds("y")
         assert mem.buffers() == {"x": 10}
 
+    def test_bytes_free_tracks_free_bytes(self):
+        mem = DeviceMemory(1000)
+        assert mem.bytes_free == mem.free_bytes == 1000
+        mem.alloc("a", 400)
+        assert mem.bytes_free == 600
+        mem.free("a")
+        assert mem.bytes_free == 1000
+
+    def test_free_after_partial_allocation(self):
+        # free one of several buffers; the rest stay accounted and the
+        # reclaimed room is immediately allocatable again
+        mem = DeviceMemory(1000)
+        mem.alloc("a", 300)
+        mem.alloc("b", 400)
+        mem.alloc("c", 200)
+        mem.free("b")
+        assert mem.used_bytes == 500
+        assert not mem.holds("b")
+        assert mem.holds("a") and mem.holds("c")
+        mem.alloc("d", 500)  # exactly the remaining capacity
+        assert mem.free_bytes == 0
+        with pytest.raises(GpuOutOfMemoryError, match="free"):
+            mem.alloc("e", 1)
+
+    def test_double_free_rejected(self):
+        mem = DeviceMemory(100)
+        mem.alloc("x", 10)
+        mem.free("x")
+        with pytest.raises(KeyError, match="buffer"):
+            mem.free("x")
+        assert mem.used_bytes == 0  # failed free did not corrupt accounting
+
 
 class TestGpuSpec:
     def test_presets_sane(self):

@@ -1,0 +1,78 @@
+"""Round-trip tests for the dataset/history persistence layer (repro.data.store)."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_webspam_like
+from repro.data.store import (
+    load_dataset_npz,
+    load_history_json,
+    save_dataset_npz,
+    save_history_json,
+)
+from repro.metrics import ConvergenceHistory, ConvergenceRecord
+
+
+class TestDatasetNpz:
+    def test_round_trip_bitwise(self, tmp_path):
+        dataset = make_webspam_like(60, 150, nnz_per_example=8, seed=13)
+        path = tmp_path / "ds.npz"
+        save_dataset_npz(dataset, path)
+        loaded = load_dataset_npz(path)
+        assert np.array_equal(loaded.csr.indptr, dataset.csr.indptr)
+        assert np.array_equal(loaded.csr.indices, dataset.csr.indices)
+        assert np.array_equal(loaded.csr.data, dataset.csr.data)
+        assert np.array_equal(loaded.y, dataset.y)
+        assert loaded.csr.shape == dataset.csr.shape
+        assert loaded.name == dataset.name
+
+    def test_meta_survives(self, tmp_path):
+        dataset = make_webspam_like(30, 80, nnz_per_example=5, seed=1)
+        dataset.meta["provenance"] = "unit-test"
+        dataset.meta["epoch_count"] = 7
+        path = tmp_path / "meta.npz"
+        save_dataset_npz(dataset, path)
+        loaded = load_dataset_npz(path)
+        assert loaded.meta["provenance"] == "unit-test"
+        assert loaded.meta["epoch_count"] == 7
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, a=np.arange(3))
+        with pytest.raises(ValueError, match="not a repro dataset archive"):
+            load_dataset_npz(path)
+
+
+class TestHistoryJson:
+    def _history(self):
+        history = ConvergenceHistory(label="unit")
+        history.append(
+            ConvergenceRecord(
+                epoch=1, gap=0.5, objective=1.25, sim_time=0.01,
+                wall_time=0.2, updates=100,
+            )
+        )
+        history.append(
+            ConvergenceRecord(
+                epoch=2, gap=0.25, objective=1.1, sim_time=0.02,
+                wall_time=0.4, updates=200, extras={"gamma": 0.7},
+            )
+        )
+        return history
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "hist.json"
+        save_history_json(self._history(), path)
+        loaded = load_history_json(path)
+        assert loaded.label == "unit"
+        assert len(loaded.records) == 2
+        assert np.array_equal(loaded.gaps, [0.5, 0.25])
+        assert loaded.records[1].extras == {"gamma": 0.7}
+        assert loaded.records[0].updates == 100
+        assert loaded.records[1].sim_time == 0.02
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"label": "x"}')
+        with pytest.raises(ValueError, match="not a repro history file"):
+            load_history_json(path)
