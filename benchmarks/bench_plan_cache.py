@@ -1,0 +1,123 @@
+"""Microbenchmarks of the epoch plan compiler and pooled wave runtime.
+
+Statistical timings (pytest-benchmark) of the pieces `docs/performance.md`
+describes: cold plan compilation vs warm cache hits, per-epoch plan
+specialisation, and the planned-vs-seed TPA epoch — asserting the planned
+path actually is faster *and* bit-identical on the bench problem.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tpa_scd import TpaScdKernelFactory
+from repro.data.synthetic import make_sparse_regression
+from repro.gpu import TpaScdEngine, WavePlan, clear_plan_cache, get_plan
+from repro.objectives import RidgeProblem
+
+WAVE, THREADS = 64, 256
+
+
+@pytest.fixture(scope="module")
+def bench_problem():
+    ds = make_sparse_regression(
+        4096, 2048, nnz_per_example=24, feature_exponent=1.0,
+        rng=np.random.default_rng(7), name="bench-plan",
+    )
+    return RidgeProblem(ds, 1e-3)
+
+
+def test_plan_cold_compile(benchmark, bench_problem):
+    """WavePlan construction from the permutation-independent structure."""
+    csc = bench_problem.dataset.csc
+
+    def cold():
+        return WavePlan(
+            csc.indptr, wave_size=WAVE, n_threads=THREADS, dtype=np.float32
+        )
+
+    plan = benchmark(cold)
+    assert plan.n_coords == bench_problem.m
+
+
+def test_plan_warm_cache_hit(benchmark, bench_problem):
+    """get_plan on an already-bound matrix: a dict probe, not a compile."""
+    csc = bench_problem.dataset.csc
+    clear_plan_cache()
+    first = get_plan(csc.indptr, wave_size=WAVE, n_threads=THREADS, dtype=np.float32)
+
+    def warm():
+        return get_plan(
+            csc.indptr, wave_size=WAVE, n_threads=THREADS, dtype=np.float32
+        )
+
+    assert benchmark(warm) is first
+
+
+def test_epoch_specialisation(benchmark, bench_problem):
+    """begin_epoch: the one bulk pass that parameterises an epoch."""
+    csc = bench_problem.dataset.csc
+    plan = WavePlan(
+        csc.indptr, wave_size=WAVE, n_threads=THREADS, dtype=np.float32
+    )
+    perm = np.random.default_rng(0).permutation(bench_problem.m)
+    run = benchmark(
+        plan.begin_epoch, csc.indices, csc.data.astype(np.float32),
+        perm, n_minor=csc.shape[0],
+    )
+    assert run.seg_ptr[-1] == csc.nnz
+
+
+def _epoch_runner(problem, planned):
+    clear_plan_cache()
+    csc = problem.dataset.csc
+    bound = TpaScdKernelFactory(
+        n_threads=THREADS, wave_size=WAVE, planned=planned
+    ).bind_primal(csc, problem.y, problem.n, problem.lam)
+    beta = np.zeros(problem.m, dtype=bound.dtype)
+    w = np.zeros(problem.n, dtype=bound.dtype)
+    perm = np.random.default_rng(1).permutation(problem.m)
+    rng = np.random.default_rng(2)
+
+    def run_one():
+        bound.run_epoch(beta, w, perm, rng)
+
+    return run_one, beta, w
+
+
+def test_tpa_epoch_seed_path(benchmark, bench_problem):
+    run_one, beta, _ = _epoch_runner(bench_problem, planned=False)
+    benchmark(run_one)
+    assert np.any(beta != 0)
+
+
+def test_tpa_epoch_planned_path(benchmark, bench_problem):
+    run_one, beta, _ = _epoch_runner(bench_problem, planned=True)
+    benchmark(run_one)
+    assert np.any(beta != 0)
+
+
+def test_planned_speedup_and_bit_identity(bench_problem):
+    """The headline claim, end to end: faster AND bit-identical."""
+    import time
+
+    results = {}
+    for planned in (False, True):
+        run_one, beta, w = _epoch_runner(bench_problem, planned)
+        for _ in range(3):
+            run_one()
+        times = []
+        for _ in range(9):
+            t0 = time.perf_counter()
+            run_one()
+            times.append(time.perf_counter() - t0)
+        results[planned] = (sorted(times)[len(times) // 2], beta, w)
+    med_seed, beta_seed, w_seed = results[False]
+    med_planned, beta_planned, w_planned = results[True]
+    assert np.array_equal(
+        beta_seed.view(np.uint32), beta_planned.view(np.uint32)
+    )
+    assert np.array_equal(w_seed.view(np.uint32), w_planned.view(np.uint32))
+    speedup = med_seed / med_planned
+    print(f"\nplanned vs seed epoch speedup: {speedup:.2f}x "
+          f"({med_seed * 1e3:.2f} ms -> {med_planned * 1e3:.2f} ms)")
+    assert speedup > 1.2, f"planned path only {speedup:.2f}x vs seed"

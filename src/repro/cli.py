@@ -11,6 +11,8 @@ Usage::
     python -m repro faults                    # named fault-injection scenarios
     python -m repro shards pack out/          # pack a dataset into a shard set
     python -m repro shards info out/          # inspect a packed shard set
+    python -m repro bench                     # pinned epoch micro-benchmarks
+    python -m repro bench --baseline BENCH_PR4.json   # + regression gate
 """
 
 from __future__ import annotations
@@ -161,7 +163,59 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-read every shard and check its checksum",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned epoch micro-benchmark suite "
+        "(sequential / chunked / TPA wave / distributed)",
+    )
+    bench.add_argument(
+        "--profile",
+        choices=["default", "smoke"],
+        default="default",
+        help="pinned benchmark profile (default: default)",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the repro.bench/v1 payload to PATH (e.g. BENCH_PR4.json)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="compare against a committed baseline payload; exit 1 when any "
+        "gated case's normalized throughput regresses past the threshold",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed normalized-throughput drop vs the baseline (default 0.25)",
+    )
     return parser
+
+
+def _cmd_bench(args) -> int:
+    from .perf.bench import compare, load_payload, render_table, run_suite, write_payload
+
+    payload = run_suite(args.profile)
+    print(render_table(payload))
+    if args.out:
+        write_payload(payload, args.out)
+        print(f"wrote {args.out}")
+    if args.baseline:
+        baseline = load_payload(args.baseline)
+        regressions = compare(payload, baseline, threshold=args.threshold)
+        if regressions:
+            print()
+            for msg in regressions:
+                print(f"REGRESSION  {msg}")
+            return 1
+        print(f"\nno regressions vs {args.baseline} "
+              f"(threshold {args.threshold * 100:.0f}%)")
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -258,6 +312,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "shards":
             return _cmd_shards(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "run":
             scale = SCALES[args.scale] if args.scale else None
             fig = ALL_EXPERIMENTS[args.experiment](scale)

@@ -40,6 +40,7 @@ class _GlmTpaBase:
         seed: int = 0,
         profiler: KernelProfile | None = None,
         timing_workload: EpochWorkload | None = None,
+        planned: bool = True,
     ) -> None:
         if isinstance(device, GpuSpec):
             device = GpuDevice(device)
@@ -50,6 +51,7 @@ class _GlmTpaBase:
         self.seed = int(seed)
         self.profiler = profiler
         self.timing_workload = timing_workload
+        self.planned = bool(planned)
 
     def _effective_wave(self) -> int:
         return self.wave_size or self.device.spec.resident_blocks
@@ -109,6 +111,7 @@ class TpaElasticNet(_GlmTpaBase):
             y=problem.y,
             profiler=self.profiler,
             tracer=tracer,
+            planned=self.planned,
         )
         beta = np.zeros(problem.m, dtype=self.dtype)
         w = np.zeros(problem.n, dtype=self.dtype)
@@ -195,6 +198,7 @@ class TpaSvm(_GlmTpaBase):
             dtype=self.dtype,
             profiler=self.profiler,
             tracer=tracer,
+            planned=self.planned,
         )
         alpha = np.zeros(problem.n, dtype=self.dtype)
         w = np.zeros(problem.m, dtype=self.dtype)

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..gpu.device import GpuDevice
 from ..gpu.engine import TpaScdEngine
+from ..gpu.plan import plan_cache_stats
 from ..gpu.profiler import KernelProfile
 from ..gpu.spec import GTX_TITAN_X, GpuSpec
 from ..gpu.timing import GpuTimingModel
@@ -66,6 +67,10 @@ class TpaScdKernelFactory:
         :class:`~repro.shards.ShardCache`, which books per-shard residency
         against this device's memory itself.  Set automatically by the
         distributed engine when a ``shards=`` config is supplied.
+    planned:
+        Execute epochs through the compiled/pooled
+        :class:`~repro.gpu.plan.WavePlan` runtime (default).  ``False``
+        selects the per-wave seed path; both are bit-identical.
     """
 
     def __init__(
@@ -80,12 +85,14 @@ class TpaScdKernelFactory:
         timing_workload: EpochWorkload | None = None,
         profiler: "KernelProfile | None" = None,
         tracer=None,
+        planned: bool = True,
     ) -> None:
         if isinstance(device, GpuSpec):
             device = GpuDevice(device)
         self.device = device
         self.profiler = profiler
         self.tracer = tracer
+        self.planned = bool(planned)
         self.n_threads = int(n_threads)
         self.wave_size = int(wave_size) if wave_size is not None else None
         self.dtype = np.dtype(dtype)
@@ -96,6 +103,31 @@ class TpaScdKernelFactory:
 
     def _effective_wave(self) -> int:
         return self.wave_size or self.device.spec.resident_blocks
+
+    def _build_engine(self, matrix) -> TpaScdEngine:
+        """Construct the wave engine, booking plan-cache traffic when traced."""
+        before = plan_cache_stats() if self.planned else None
+        engine = TpaScdEngine(
+            matrix.indptr,
+            matrix.indices,
+            matrix.data,
+            wave_size=self._effective_wave(),
+            n_threads=self.n_threads,
+            dtype=self.dtype,
+            profiler=self.profiler,
+            tracer=self.tracer,
+            planned=self.planned,
+        )
+        tracer = self.tracer
+        if before is not None and tracer is not None and tracer.enabled:
+            after = plan_cache_stats()
+            hits = after["hits"] - before["hits"]
+            misses = after["misses"] - before["misses"]
+            if hits:
+                tracer.count("gpu.plan_cache.hits", hits)
+            if misses:
+                tracer.count("gpu.plan_cache.misses", misses)
+        return engine
 
     def _priced(self, workload: EpochWorkload) -> EpochWorkload:
         return self.timing_workload or workload
@@ -118,16 +150,7 @@ class TpaScdKernelFactory:
         self, csc: CscMatrix, y: np.ndarray, n_global: int, lam: float
     ) -> BoundKernel:
         self._book_memory(csc, csc.n_major + csc.shape[0])
-        engine = TpaScdEngine(
-            csc.indptr,
-            csc.indices,
-            csc.data,
-            wave_size=self._effective_wave(),
-            n_threads=self.n_threads,
-            dtype=self.dtype,
-            profiler=self.profiler,
-            tracer=self.tracer,
-        )
+        engine = self._build_engine(csc)
         y32 = y.astype(self.dtype, copy=False)
         nlam = self.dtype.type(n_global * lam)
         inv_denom = (1.0 / (csc.col_norms_sq().astype(np.float64) + n_global * lam)).astype(
@@ -154,16 +177,7 @@ class TpaScdKernelFactory:
         self, csr: CsrMatrix, y_local: np.ndarray, n_global: int, lam: float
     ) -> BoundKernel:
         self._book_memory(csr, csr.n_major + csr.shape[1])
-        engine = TpaScdEngine(
-            csr.indptr,
-            csr.indices,
-            csr.data,
-            wave_size=self._effective_wave(),
-            n_threads=self.n_threads,
-            dtype=self.dtype,
-            profiler=self.profiler,
-            tracer=self.tracer,
-        )
+        engine = self._build_engine(csr)
         y32 = y_local.astype(self.dtype, copy=False)
         lam_t = self.dtype.type(lam)
         nlam = self.dtype.type(n_global * lam)
@@ -201,10 +215,11 @@ class TpaScd(ScdSolver):
         n_threads: int = 256,
         wave_size: int | None = None,
         seed: int = 0,
+        planned: bool = True,
     ) -> None:
         super().__init__(
             TpaScdKernelFactory(
-                device, n_threads=n_threads, wave_size=wave_size
+                device, n_threads=n_threads, wave_size=wave_size, planned=planned
             ),
             formulation,
             seed,

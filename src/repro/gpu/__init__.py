@@ -11,6 +11,13 @@ from .glm_engine import (
     SvmDualRule,
 )
 from .memory import DeviceMemory, GpuOutOfMemoryError
+from .plan import (
+    BufferPool,
+    WavePlan,
+    clear_plan_cache,
+    get_plan,
+    plan_cache_stats,
+)
 from .profiler import KernelProfile
 from .spec import GTX_TITAN_X, QUADRO_M4000, TESLA_P100, GpuSpec
 from .timing import BYTES_PER_NNZ, GpuTimingModel
@@ -27,6 +34,11 @@ __all__ = [
     "SvmDualRule",
     "DeviceMemory",
     "GpuOutOfMemoryError",
+    "WavePlan",
+    "BufferPool",
+    "get_plan",
+    "plan_cache_stats",
+    "clear_plan_cache",
     "KernelProfile",
     "GpuSpec",
     "QUADRO_M4000",

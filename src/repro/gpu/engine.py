@@ -19,8 +19,16 @@ does on real hardware:
   fused dot product, so the float32 rounding behaviour of the simulated
   kernel matches the real one's character.
 * **Atomic write-back** — every shared-vector contribution is applied
-  (float32 atomic adds never lose updates); ``np.add.at`` provides the
-  unbuffered element-wise accumulation.
+  (float32 atomic adds never lose updates).
+
+Two execution strategies produce bit-identical trajectories:
+
+* the **seed path** (``planned=False``) re-derives each wave's gather
+  metadata with :func:`~repro.solvers.kernels.gather_chunk` and scatters
+  through ``np.add.at`` — the reference semantics;
+* the **planned path** (default) runs through a compiled, pooled
+  :class:`~repro.gpu.plan.WavePlan`: per-epoch bulk gathers, slice-only
+  waves, assignment-style reductions, and zero steady-state allocations.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ import numpy as np
 
 from ..obs import NULL_SPAN, NULL_TRACER
 from ..solvers.kernels import gather_chunk
+from .plan import WavePlan, get_plan
 from .profiler import KernelProfile
 
 __all__ = ["block_tree_dots", "TpaScdEngine"]
@@ -81,6 +90,13 @@ class TpaScdEngine:
         Number of concurrently resident thread blocks (staleness window).
     n_threads:
         Threads per block used for the strided partials / tree reduction.
+    planned:
+        Execute epochs through the compiled/pooled :class:`WavePlan`
+        runtime (default) or the per-wave seed path.  Both are bit-identical;
+        the seed path exists as the reference for the property tests.
+    plan:
+        Inject a pre-compiled plan; by default the module-wide plan cache
+        is consulted (:func:`~repro.gpu.plan.get_plan`).
     """
 
     def __init__(
@@ -94,6 +110,8 @@ class TpaScdEngine:
         dtype=np.float32,
         profiler: KernelProfile | None = None,
         tracer=None,
+        planned: bool = True,
+        plan: WavePlan | None = None,
     ) -> None:
         if wave_size < 1:
             raise ValueError("wave_size must be >= 1")
@@ -107,16 +125,40 @@ class TpaScdEngine:
         self.n_threads = int(n_threads)
         self.profiler = profiler
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.planned = bool(planned)
+        if plan is not None:
+            self.plan = plan
+        elif self.planned:
+            self.plan = get_plan(
+                indptr,
+                wave_size=self.wave_size,
+                n_threads=self.n_threads,
+                dtype=self.dtype,
+            )
+        else:
+            self.plan = None
 
-    def _record_wave(self, tracer, flat_idx: np.ndarray) -> None:
-        """Book one wave's metrics (conflict analysis only when observed)."""
+    def _record_wave(self, tracer, nnz: int, conflicts: int | None, flat_idx) -> None:
+        """Book one wave's metrics.
+
+        The conflict analysis is skipped entirely when nothing observes the
+        run (``NULL_TRACER``), and on the planned path the count comes for
+        free from the epoch plan's conflict table instead of a per-wave
+        ``np.unique`` over the gathered indices.
+        """
+        if tracer is NULL_TRACER or not tracer.enabled:
+            return
         tracer.count("gpu.waves")
-        nnz = int(flat_idx.shape[0])
         tracer.count("gpu.nnz_processed", nnz)
         if nnz:
-            tracer.count(
-                "gpu.atomic_conflicts", nnz - int(np.unique(flat_idx).shape[0])
-            )
+            if conflicts is None:
+                conflicts = nnz - int(np.unique(flat_idx).shape[0])
+            tracer.count("gpu.atomic_conflicts", conflicts)
+
+    def _finish_epoch(self, tracer) -> None:
+        """Surface pool / plan-cache health after a planned epoch."""
+        if self.plan is not None and tracer.enabled:
+            tracer.gauge("pool.bytes_reused", self.plan.pool.bytes_reused)
 
     def run_primal_epoch(
         self,
@@ -132,6 +174,17 @@ class TpaScdEngine:
         Returns 0 (atomic writes never lose updates), matching the
         :class:`~repro.solvers.base.BoundKernel` contract.
         """
+        if self.plan is not None:
+            return self._planned_epoch(
+                mode="primal",
+                y=y,
+                inv_denom=inv_denom,
+                nlam=nlam,
+                lam=None,
+                weights=beta,
+                shared=w,
+                perm=perm,
+            )
         dt = self.dtype
         tracer = self.tracer
         observed = tracer.enabled
@@ -153,7 +206,9 @@ class TpaScdEngine:
                             flat_idx, seg_ptr, self.n_threads
                         )
                     if observed:
-                        self._record_wave(tracer, flat_idx)
+                        self._record_wave(
+                            tracer, int(flat_idx.shape[0]), None, flat_idx
+                        )
                     residual = (y[flat_idx] - w[flat_idx]).astype(dt, copy=False)
                     dots = block_tree_dots(
                         flat_val, residual, seg_ptr, self.n_threads, dtype=dt
@@ -177,6 +232,17 @@ class TpaScdEngine:
         perm: np.ndarray,
     ) -> int:
         """One dual epoch: blocks compute ``<wbar, a_n>`` then update."""
+        if self.plan is not None:
+            return self._planned_epoch(
+                mode="dual",
+                y=y_local,
+                inv_denom=inv_denom,
+                nlam=nlam,
+                lam=lam,
+                weights=alpha,
+                shared=wbar,
+                perm=perm,
+            )
         dt = self.dtype
         tracer = self.tracer
         observed = tracer.enabled
@@ -198,7 +264,9 @@ class TpaScdEngine:
                             flat_idx, seg_ptr, self.n_threads
                         )
                     if observed:
-                        self._record_wave(tracer, flat_idx)
+                        self._record_wave(
+                            tracer, int(flat_idx.shape[0]), None, flat_idx
+                        )
                     gathered = wbar[flat_idx].astype(dt, copy=False)
                     dots = block_tree_dots(
                         flat_val, gathered, seg_ptr, self.n_threads, dtype=dt
@@ -210,4 +278,65 @@ class TpaScdEngine:
                     alpha[coords] += deltas
                     contrib = flat_val * np.repeat(deltas, np.diff(seg_ptr))
                     np.add.at(wbar, flat_idx, contrib)
+        return 0
+
+    # -- planned execution -------------------------------------------------
+    def _planned_epoch(
+        self, *, mode, y, inv_denom, nlam, lam, weights, shared, perm
+    ) -> int:
+        dt = self.dtype
+        tracer = self.tracer
+        observed = tracer.enabled
+        wave_spans = observed and tracer.detail == "wave"
+        profiler = self.profiler
+        with tracer.span(
+            "tpa.epoch", category="gpu",
+            n_coords=int(perm.shape[0]), wave_size=self.wave_size,
+        ) if observed else NULL_SPAN:
+            run = self.plan.begin_epoch(
+                self.indices,
+                self.data,
+                perm,
+                n_minor=int(shared.shape[0]),
+                analyze_conflicts=(
+                    True if (observed or profiler is not None) else None
+                ),
+            )
+            for wv in range(run.n_waves):
+                s, e, a, b = run.bounds(wv)
+                coords = perm[s:e]
+                with tracer.span(
+                    "tpa.wave", category="gpu", blocks=e - s
+                ) if wave_spans else NULL_SPAN:
+                    if profiler is not None:
+                        profiler.record_wave(
+                            run.flat_idx[a:b],
+                            run.wave_seg_ptr(s, e),
+                            self.n_threads,
+                            conflicts=run.wave_conflicts(wv),
+                        )
+                    if observed:
+                        self._record_wave(
+                            tracer, b - a, run.wave_conflicts(wv), None
+                        )
+                    fv = run.flat_val[a:b]
+                    if mode == "primal":
+                        gathered = run.gather_residual(y, shared, a, b)
+                    else:
+                        gathered = run.gather_shared(shared, a, b)
+                    dots = run.block_dots(fv, gathered, wv, s, e, a, b)
+                    if mode == "primal":
+                        deltas = (
+                            (dots - nlam * weights[coords]) * inv_denom[coords]
+                        ).astype(dt)
+                    else:
+                        deltas = (
+                            (lam * y[coords] - dots - nlam * weights[coords])
+                            * inv_denom[coords]
+                        ).astype(dt)
+                    weights[coords] += deltas
+                    contrib = run.expand_deltas(deltas, wv, s, e)
+                    np.multiply(fv, contrib, out=contrib)
+                    run.scatter_shared(shared, contrib, wv, a, b)
+            self._finish_epoch(tracer)
         return 0

@@ -27,6 +27,7 @@ import numpy as np
 from ..obs import NULL_SPAN, NULL_TRACER
 from ..solvers.kernels import gather_chunk
 from .engine import block_tree_dots
+from .plan import WavePlan, get_plan
 from .profiler import KernelProfile
 
 __all__ = [
@@ -188,6 +189,8 @@ class GlmTpaEngine:
         y: np.ndarray | None = None,
         profiler: KernelProfile | None = None,
         tracer=None,
+        planned: bool = True,
+        plan: WavePlan | None = None,
     ) -> None:
         if wave_size < 1:
             raise ValueError("wave_size must be >= 1")
@@ -207,6 +210,18 @@ class GlmTpaEngine:
         self.y = None if y is None else y.astype(self.dtype, copy=False)
         self.profiler = profiler
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.planned = bool(planned)
+        if plan is not None:
+            self.plan = plan
+        elif self.planned:
+            self.plan = get_plan(
+                indptr,
+                wave_size=self.wave_size,
+                n_threads=self.n_threads,
+                dtype=self.dtype,
+            )
+        else:
+            self.plan = None
 
     def run_epoch(
         self,
@@ -216,6 +231,8 @@ class GlmTpaEngine:
         rng: np.random.Generator,
     ) -> int:
         """One pass over ``perm``; conforms to the BoundKernel contract."""
+        if self.plan is not None:
+            return self._planned_epoch(weights, shared, perm)
         dt = self.dtype
         rule = self.rule
         tracer = self.tracer
@@ -263,4 +280,67 @@ class GlmTpaEngine:
                         scaled.astype(dt, copy=False), np.diff(seg_ptr)
                     )
                     np.add.at(shared, flat_idx, contrib)
+        return 0
+
+    def _planned_epoch(
+        self, weights: np.ndarray, shared: np.ndarray, perm: np.ndarray
+    ) -> int:
+        """Compiled/pooled execution — bit-identical to the seed loop above."""
+        dt = self.dtype
+        rule = self.rule
+        tracer = self.tracer
+        observed = tracer.enabled
+        wave_spans = observed and tracer.detail == "wave"
+        profiler = self.profiler
+        residual = rule.needs == "residual"
+        with tracer.span(
+            "glm.epoch", category="gpu",
+            rule=type(rule).__name__,
+            n_coords=int(perm.shape[0]), wave_size=self.wave_size,
+        ) if observed else NULL_SPAN:
+            run = self.plan.begin_epoch(
+                self.indices,
+                self.data,
+                perm,
+                n_minor=int(shared.shape[0]),
+                analyze_conflicts=(
+                    True if (observed or profiler is not None) else None
+                ),
+            )
+            for wv in range(run.n_waves):
+                s, e, a, b = run.bounds(wv)
+                coords = perm[s:e]
+                with tracer.span(
+                    "glm.wave", category="gpu", blocks=e - s
+                ) if wave_spans else NULL_SPAN:
+                    if profiler is not None:
+                        profiler.record_wave(
+                            run.flat_idx[a:b],
+                            run.wave_seg_ptr(s, e),
+                            self.n_threads,
+                            conflicts=run.wave_conflicts(wv),
+                        )
+                    if observed:
+                        tracer.count("gpu.waves")
+                        tracer.count("gpu.nnz_processed", b - a)
+                        if b > a:
+                            tracer.count(
+                                "gpu.atomic_conflicts", run.wave_conflicts(wv)
+                            )
+                    fv = run.flat_val[a:b]
+                    if residual:
+                        gathered = run.gather_residual(self.y, shared, a, b)
+                    else:
+                        gathered = run.gather_shared(shared, a, b)
+                    dots = run.block_dots(fv, gathered, wv, s, e, a, b)
+                    deltas = rule.deltas(coords, dots, weights[coords])
+                    weights[coords] += deltas
+                    scaled = deltas * rule.shared_scale(coords)
+                    contrib = run.expand_deltas(
+                        scaled.astype(dt, copy=False), wv, s, e
+                    )
+                    np.multiply(fv, contrib, out=contrib)
+                    run.scatter_shared(shared, contrib, wv, a, b)
+            if observed:
+                tracer.gauge("pool.bytes_reused", self.plan.pool.bytes_reused)
         return 0

@@ -38,9 +38,19 @@ class KernelProfile:
     _block_nnz_sum: int = field(default=0, repr=False)
 
     def record_wave(
-        self, flat_idx: np.ndarray, seg_ptr: np.ndarray, n_threads: int
+        self,
+        flat_idx: np.ndarray,
+        seg_ptr: np.ndarray,
+        n_threads: int,
+        *,
+        conflicts: int | None = None,
     ) -> None:
-        """Book one wave's gather/write pattern."""
+        """Book one wave's gather/write pattern.
+
+        ``conflicts`` accepts a precomputed duplicate-write count (the
+        planned runtime gets it for free from its epoch conflict analysis);
+        when omitted it is derived from ``flat_idx`` with ``np.unique``.
+        """
         self.n_threads = n_threads
         n_blocks = seg_ptr.shape[0] - 1
         self.waves += 1
@@ -49,7 +59,9 @@ class KernelProfile:
         self.nnz_processed += nnz
         self.atomic_writes += nnz
         if nnz:
-            self.atomic_conflicts += nnz - int(np.unique(flat_idx).shape[0])
+            if conflicts is None:
+                conflicts = nnz - int(np.unique(flat_idx).shape[0])
+            self.atomic_conflicts += conflicts
         lengths = np.diff(seg_ptr)
         self._block_nnz_sum += int(lengths.sum())
         if lengths.size:

@@ -1,5 +1,19 @@
-"""Shared performance-model primitives: links, ledgers, timing protocol."""
+"""Shared performance-model primitives: links, ledgers, timing protocol.
 
+Also home of the pinned micro-benchmark suite (:mod:`repro.perf.bench`)
+behind the ``repro bench`` CLI and its CI regression gate.
+"""
+
+from .bench import (
+    BENCH_SCHEMA,
+    PROFILES,
+    BenchProfile,
+    compare,
+    load_payload,
+    run_suite,
+    validate_payload,
+    write_payload,
+)
 from .ledger import COMPONENTS, FAULT_COMPONENTS, PAPER_COMPONENTS, TimeLedger
 from .link import (
     ETHERNET_10G,
@@ -11,6 +25,14 @@ from .link import (
 from .timing import EpochWorkload, LocalTiming
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "BenchProfile",
+    "PROFILES",
+    "run_suite",
+    "validate_payload",
+    "compare",
+    "load_payload",
+    "write_payload",
     "COMPONENTS",
     "FAULT_COMPONENTS",
     "PAPER_COMPONENTS",

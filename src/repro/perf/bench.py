@@ -1,0 +1,340 @@
+"""Pinned micro-benchmark suite with a throughput regression gate.
+
+The repo's north star is "as fast as the hardware allows", but nothing used
+to *guard* kernel throughput: a stray ``np.add.at`` or a per-wave allocation
+could quietly cost 10x and no test would notice.  This module pins a small
+suite of epoch micro-benchmarks over a fixed synthetic problem:
+
+* ``sequential`` — Algorithm 1, single-thread exact SCD (the normalizer);
+* ``chunked`` — the A-SCD chunked-atomic CPU kernel;
+* ``tpa_wave_seed`` — the TPA-SCD wave engine on its per-wave seed path;
+* ``tpa_wave_planned`` — the same engine through the compiled/pooled
+  :class:`~repro.gpu.plan.WavePlan` runtime;
+* ``distributed`` — one full synchronous distributed epoch (K TPA workers,
+  averaging aggregation, simulated fabric).
+
+``run_suite`` writes a ``repro.bench/v1`` payload (see ``BENCH_PR4.json`` at
+the repo root for the committed baseline) with the **median** wall-clock
+epoch time per case.  Machines differ, so the regression gate compares
+*normalized relative throughput* — each case's epoch rate divided by the
+same run's ``sequential`` rate — which cancels the host's absolute speed:
+
+    rel(case) = median_s(sequential) / median_s(case)
+
+``compare`` flags any case whose normalized throughput dropped more than
+``threshold`` (default 25%) versus the baseline payload.  Run it all via the
+``repro bench`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchProfile",
+    "PROFILES",
+    "run_suite",
+    "validate_payload",
+    "compare",
+    "load_payload",
+    "write_payload",
+    "render_table",
+]
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: cases whose normalized throughput is gated (sequential is the normalizer)
+_GATED_CASES = ("chunked", "tpa_wave_seed", "tpa_wave_planned", "distributed")
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Pinned dimensions of one benchmark configuration."""
+
+    name: str
+    n_examples: int
+    n_features: int
+    nnz_per_example: int
+    wave_size: int
+    n_threads: int
+    chunk_size: int
+    n_workers: int
+    reps: int
+    warmup: int
+    lam: float = 1e-3
+    seed: int = 7
+    #: feature-popularity exponent (1.0 = uniform).  The pinned suites use
+    #: uniform popularity so every wave exercises the same kernel shape and
+    #: the medians measure wave throughput, not tail-column skew.
+    feature_exponent: float = 1.0
+
+
+PROFILES: dict[str, BenchProfile] = {
+    "default": BenchProfile(
+        name="default",
+        n_examples=4096,
+        n_features=2048,
+        nnz_per_example=24,
+        wave_size=64,
+        n_threads=256,
+        chunk_size=16,
+        n_workers=4,
+        reps=15,
+        warmup=3,
+    ),
+    "smoke": BenchProfile(
+        name="smoke",
+        n_examples=256,
+        n_features=128,
+        nnz_per_example=8,
+        wave_size=16,
+        n_threads=32,
+        chunk_size=8,
+        n_workers=2,
+        reps=3,
+        warmup=1,
+    ),
+}
+
+
+def _problem(profile: BenchProfile):
+    from ..data.synthetic import make_sparse_regression
+    from ..objectives.ridge import RidgeProblem
+
+    dataset = make_sparse_regression(
+        profile.n_examples,
+        profile.n_features,
+        nnz_per_example=profile.nnz_per_example,
+        feature_exponent=profile.feature_exponent,
+        rng=np.random.default_rng(profile.seed),
+        name=f"bench-{profile.name}",
+    )
+    return RidgeProblem(dataset, profile.lam)
+
+
+def _time_epochs(run_one, profile: BenchProfile) -> list[float]:
+    """Wall-time ``reps`` epochs after ``warmup`` untimed ones."""
+    for _ in range(profile.warmup):
+        run_one()
+    times = []
+    for _ in range(profile.reps):
+        t0 = time.perf_counter()
+        run_one()
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def _bound_epoch_runner(factory, problem, profile: BenchProfile):
+    """Bind a primal kernel and return a zero-arg one-epoch closure."""
+    csc = problem.dataset.csc
+    bound = factory.bind_primal(csc, problem.y, problem.n, problem.lam)
+    beta = np.zeros(problem.m, dtype=bound.dtype)
+    w = np.zeros(problem.n, dtype=bound.dtype)
+    rng = np.random.default_rng(profile.seed + 1)
+
+    def run_one():
+        bound.run_epoch(beta, w, rng.permutation(problem.m), rng)
+
+    return run_one
+
+
+def _case_sequential(problem, profile: BenchProfile) -> list[float]:
+    from ..solvers.scd import SequentialKernelFactory
+
+    return _time_epochs(
+        _bound_epoch_runner(SequentialKernelFactory(), problem, profile), profile
+    )
+
+
+def _case_chunked(problem, profile: BenchProfile) -> list[float]:
+    from ..solvers.ascd import AsyncCpuKernelFactory
+
+    factory = AsyncCpuKernelFactory(
+        n_threads=profile.chunk_size, write_mode="atomic"
+    )
+    return _time_epochs(_bound_epoch_runner(factory, problem, profile), profile)
+
+
+def _tpa_factory(profile: BenchProfile, planned: bool):
+    from ..core.tpa_scd import TpaScdKernelFactory
+
+    return TpaScdKernelFactory(
+        n_threads=profile.n_threads,
+        wave_size=profile.wave_size,
+        planned=planned,
+    )
+
+
+def _case_tpa(problem, profile: BenchProfile, planned: bool) -> list[float]:
+    factory = _tpa_factory(profile, planned)
+    return _time_epochs(_bound_epoch_runner(factory, problem, profile), profile)
+
+
+def _case_distributed(problem, profile: BenchProfile) -> list[float]:
+    from ..core.distributed import DistributedSCD
+
+    def run_one():
+        engine = DistributedSCD(
+            lambda rank: _tpa_factory(profile, planned=True),
+            "primal",
+            n_workers=profile.n_workers,
+            seed=profile.seed,
+        )
+        engine.solve(problem, 1, monitor_every=1)
+
+    return _time_epochs(run_one, profile)
+
+
+def run_suite(profile: str | BenchProfile = "default") -> dict:
+    """Run every case of ``profile`` and return the ``repro.bench/v1`` payload."""
+    from .. import __version__
+    from ..gpu.plan import clear_plan_cache
+
+    prof = PROFILES[profile] if isinstance(profile, str) else profile
+    problem = _problem(prof)
+    clear_plan_cache()
+
+    cases: dict[str, dict] = {}
+
+    def record(name: str, times: list[float]) -> None:
+        med = statistics.median(times)
+        cases[name] = {
+            "median_s": med,
+            "min_s": min(times),
+            "reps": len(times),
+            "epochs_per_s": (1.0 / med) if med > 0 else 0.0,
+        }
+
+    record("sequential", _case_sequential(problem, prof))
+    record("chunked", _case_chunked(problem, prof))
+    record("tpa_wave_seed", _case_tpa(problem, prof, planned=False))
+    record("tpa_wave_planned", _case_tpa(problem, prof, planned=True))
+    record("distributed", _case_distributed(problem, prof))
+
+    seq = cases["sequential"]["median_s"]
+    normalized = {
+        name: (seq / case["median_s"]) if case["median_s"] > 0 else 0.0
+        for name, case in cases.items()
+    }
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "version": __version__,
+        "profile": prof.name,
+        "params": {
+            "n_examples": prof.n_examples,
+            "n_features": prof.n_features,
+            "nnz_per_example": prof.nnz_per_example,
+            "wave_size": prof.wave_size,
+            "n_threads": prof.n_threads,
+            "chunk_size": prof.chunk_size,
+            "n_workers": prof.n_workers,
+            "reps": prof.reps,
+            "warmup": prof.warmup,
+            "seed": prof.seed,
+            "feature_exponent": prof.feature_exponent,
+        },
+        "cases": cases,
+        "derived": {
+            "normalized_throughput": normalized,
+            "tpa_planned_speedup": (
+                cases["tpa_wave_seed"]["median_s"]
+                / cases["tpa_wave_planned"]["median_s"]
+                if cases["tpa_wave_planned"]["median_s"] > 0
+                else 0.0
+            ),
+        },
+    }
+    validate_payload(payload)
+    return payload
+
+
+def validate_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid ``repro.bench/v1``."""
+    if not isinstance(payload, dict):
+        raise ValueError("bench payload must be a JSON object")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"bench schema must be {BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    for key in ("version", "profile", "params", "cases", "derived"):
+        if key not in payload:
+            raise ValueError(f"bench payload missing {key!r}")
+    cases = payload["cases"]
+    if not isinstance(cases, dict) or "sequential" not in cases:
+        raise ValueError("bench payload must contain a 'sequential' case")
+    for name, case in cases.items():
+        if not isinstance(case, dict):
+            raise ValueError(f"case {name!r} must be an object")
+        for field in ("median_s", "reps"):
+            if field not in case:
+                raise ValueError(f"case {name!r} missing {field!r}")
+        if not isinstance(case["median_s"], (int, float)) or case["median_s"] < 0:
+            raise ValueError(f"case {name!r} has invalid median_s")
+    derived = payload["derived"]
+    if "normalized_throughput" not in derived:
+        raise ValueError("bench payload missing derived.normalized_throughput")
+
+
+def compare(new: dict, baseline: dict, *, threshold: float = 0.25) -> list[str]:
+    """Regression messages for any gated case that slowed down > ``threshold``.
+
+    Throughput is normalized by each payload's own ``sequential`` median, so
+    the comparison is valid across machines of different absolute speed.
+    """
+    validate_payload(new)
+    validate_payload(baseline)
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    regressions = []
+    new_rel = new["derived"]["normalized_throughput"]
+    base_rel = baseline["derived"]["normalized_throughput"]
+    for name in _GATED_CASES:
+        if name not in new_rel or name not in base_rel:
+            continue
+        if base_rel[name] <= 0:
+            continue
+        ratio = new_rel[name] / base_rel[name]
+        if ratio < 1.0 - threshold:
+            regressions.append(
+                f"{name}: normalized throughput {new_rel[name]:.3f} is "
+                f"{(1.0 - ratio) * 100.0:.1f}% below baseline "
+                f"{base_rel[name]:.3f} (threshold {threshold * 100.0:.0f}%)"
+            )
+    return regressions
+
+
+def load_payload(path: str | Path) -> dict:
+    payload = json.loads(Path(path).read_text())
+    validate_payload(payload)
+    return payload
+
+
+def write_payload(payload: dict, path: str | Path) -> None:
+    validate_payload(payload)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def render_table(payload: dict) -> str:
+    """Human-readable summary of one bench payload."""
+    rows = [f"bench profile {payload['profile']!r}  (schema {payload['schema']})"]
+    rows.append(f"{'case':<18} {'median':>12} {'epochs/s':>10} {'vs seq':>8}")
+    rel = payload["derived"]["normalized_throughput"]
+    for name, case in payload["cases"].items():
+        rows.append(
+            f"{name:<18} {case['median_s'] * 1e3:>10.3f}ms "
+            f"{case.get('epochs_per_s', 0.0):>10.1f} {rel.get(name, 0.0):>7.2f}x"
+        )
+    rows.append(
+        "tpa planned vs seed speedup: "
+        f"{payload['derived']['tpa_planned_speedup']:.2f}x"
+    )
+    return "\n".join(rows)

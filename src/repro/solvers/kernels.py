@@ -130,6 +130,57 @@ def gather_chunk(
     return indices[flat], data[flat], seg_ptr
 
 
+def _epoch_gather(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    perm: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather an entire epoch's nonzeros in one flattened pass.
+
+    The per-chunk ``gather_chunk`` fancy-indexing is the chunked kernels'
+    dominant cost; hoisting it to one epoch-level gather (sliced per chunk
+    afterwards) produces byte-identical per-chunk arrays for a fraction of
+    the kernel launches.  Returns ``(flat_minor_indices, flat_values,
+    epoch_seg_ptr)`` with ``epoch_seg_ptr`` delimiting each *coordinate*.
+    """
+    lengths = indptr[perm + 1] - indptr[perm]
+    eptr = np.empty(perm.shape[0] + 1, dtype=np.int64)
+    eptr[0] = 0
+    np.cumsum(lengths, out=eptr[1:])
+    flat = _ranges_concat(indptr[perm], lengths)
+    return indices[flat], data[flat], eptr
+
+
+def _chunk_conflicts(
+    e_idx: np.ndarray,
+    eptr: np.ndarray,
+    chunk_size: int,
+    n_minor: int,
+) -> np.ndarray | None:
+    """Per-chunk duplicate-write counts for one epoch.
+
+    One in-place sort of ``chunk_id * n_minor + index`` replaces a per-chunk
+    uniqueness probe; chunks with a zero count may apply their scatter with
+    a buffered fancy ``+=`` (bit-identical to ``np.add.at`` when every
+    target element is written once).  Returns ``None`` when the whole epoch
+    is conflict-free.
+    """
+    total = e_idx.shape[0]
+    if total == 0 or chunk_size == 1:
+        # a single coordinate's minor indices are unique by construction
+        return None
+    k = eptr.shape[0] - 1
+    n_chunks = -(-k // chunk_size)
+    chunk_of = np.arange(k, dtype=np.int64) // chunk_size
+    keys = np.repeat(chunk_of, np.diff(eptr)) * n_minor + e_idx
+    keys.sort()
+    dup = keys[1:] == keys[:-1]
+    if not dup.any():
+        return None
+    return np.bincount(keys[1:][dup] // n_minor, minlength=n_chunks)
+
+
 def _segment_dots(
     flat_idx: np.ndarray,
     flat_val: np.ndarray,
@@ -152,11 +203,18 @@ def apply_chunk_updates(
     write_mode: str,
     loss_prob: float,
     rng: np.random.Generator | None,
+    conflicts: int | None = None,
 ) -> int:
     """Write a chunk's shared-vector contributions back.
 
     Returns the number of *lost* element updates (0 in atomic mode), which
     the solvers expose for diagnostics.
+
+    ``conflicts`` accepts a precomputed duplicate-write count for the chunk
+    (see :func:`_chunk_conflicts`): atomic chunks known to be conflict-free
+    take a buffered fancy ``+=`` — bit-identical to ``np.add.at`` when every
+    target element is written once and several times faster — while ``None``
+    (unknown) or a positive count keeps the ordered ``np.add.at`` path.
 
     In ``wild`` mode the writers race: for every shared-vector entry touched
     by multiple coordinates in the chunk, the chronologically last write
@@ -167,7 +225,10 @@ def apply_chunk_updates(
     if flat_idx.shape[0] == 0:
         return 0
     if write_mode == "atomic":
-        np.add.at(vec, flat_idx, contrib)
+        if conflicts == 0:
+            vec[flat_idx] += contrib
+        else:
+            np.add.at(vec, flat_idx, contrib)
         return 0
     if write_mode != "wild":
         raise ValueError(f"unknown write_mode {write_mode!r}")
@@ -216,15 +277,33 @@ def primal_epoch_chunked(
         raise ValueError("chunk_size must be >= 1")
     lost = 0
     n_coords = perm.shape[0]
-    for start in range(0, n_coords, chunk_size):
-        coords = perm[start : start + chunk_size]
-        flat_idx, flat_val, seg_ptr = gather_chunk(indptr, indices, data, coords)
+    e_idx, e_val, eptr = _epoch_gather(indptr, indices, data, perm)
+    conflicts = (
+        _chunk_conflicts(e_idx, eptr, chunk_size, w.shape[0])
+        if write_mode == "atomic"
+        else None
+    )
+    for chunk, start in enumerate(range(0, n_coords, chunk_size)):
+        stop = min(start + chunk_size, n_coords)
+        coords = perm[start:stop]
+        a, b = int(eptr[start]), int(eptr[stop])
+        flat_idx = e_idx[a:b]
+        flat_val = e_val[a:b]
+        seg_ptr = eptr[start : stop + 1] - a
         dots = _segment_dots(flat_idx, flat_val, seg_ptr, w)
         deltas = (y_dots[coords] - dots - nlam * beta[coords]) * inv_denom[coords]
         beta[coords] += deltas
         contrib = flat_val * np.repeat(deltas, np.diff(seg_ptr))
         lost += apply_chunk_updates(
-            w, flat_idx, contrib, write_mode=write_mode, loss_prob=loss_prob, rng=rng
+            w,
+            flat_idx,
+            contrib,
+            write_mode=write_mode,
+            loss_prob=loss_prob,
+            rng=rng,
+            conflicts=(
+                0 if conflicts is None else int(conflicts[chunk])
+            ) if write_mode == "atomic" else None,
         )
     return lost
 
@@ -251,14 +330,32 @@ def dual_epoch_chunked(
         raise ValueError("chunk_size must be >= 1")
     lost = 0
     n_coords = perm.shape[0]
-    for start in range(0, n_coords, chunk_size):
-        coords = perm[start : start + chunk_size]
-        flat_idx, flat_val, seg_ptr = gather_chunk(indptr, indices, data, coords)
+    e_idx, e_val, eptr = _epoch_gather(indptr, indices, data, perm)
+    conflicts = (
+        _chunk_conflicts(e_idx, eptr, chunk_size, wbar.shape[0])
+        if write_mode == "atomic"
+        else None
+    )
+    for chunk, start in enumerate(range(0, n_coords, chunk_size)):
+        stop = min(start + chunk_size, n_coords)
+        coords = perm[start:stop]
+        a, b = int(eptr[start]), int(eptr[stop])
+        flat_idx = e_idx[a:b]
+        flat_val = e_val[a:b]
+        seg_ptr = eptr[start : stop + 1] - a
         dots = _segment_dots(flat_idx, flat_val, seg_ptr, wbar)
         deltas = (lam * y[coords] - dots - nlam * alpha[coords]) * inv_denom[coords]
         alpha[coords] += deltas
         contrib = flat_val * np.repeat(deltas, np.diff(seg_ptr))
         lost += apply_chunk_updates(
-            wbar, flat_idx, contrib, write_mode=write_mode, loss_prob=loss_prob, rng=rng
+            wbar,
+            flat_idx,
+            contrib,
+            write_mode=write_mode,
+            loss_prob=loss_prob,
+            rng=rng,
+            conflicts=(
+                0 if conflicts is None else int(conflicts[chunk])
+            ) if write_mode == "atomic" else None,
         )
     return lost
