@@ -1,4 +1,9 @@
-"""Cluster substrate: partitioners, smart partitioning, simulated MPI."""
+"""Cluster substrate: the unified runtime, partitioners, simulated MPI.
+
+``repro.cluster.runtime`` is the single synchronous-epoch engine behind
+``DistributedSCD`` / ``DistributedSvm`` / ``MpDistributedSCD``; see
+``docs/architecture.md`` for its five pluggable seams.
+"""
 
 from ..perf.link import ETHERNET_10G, ETHERNET_100G, Link
 from .comm import SimCommunicator
@@ -20,6 +25,22 @@ from .partition import (
     random_partition,
     shard_aligned_partition,
 )
+from .runtime import (
+    ClusterRuntime,
+    CommBackend,
+    FaultPolicy,
+    InProcessBackend,
+    LocalSolver,
+    PermutationStream,
+    PipeProcessBackend,
+    RoundOutcome,
+    RuntimeProfile,
+    RuntimeResult,
+    WorkerUpdate,
+    plan_partitions,
+    scatter_weights,
+    shared_sizing,
+)
 from .smart_partition import (
     communities_of,
     cooccurrence_graph,
@@ -31,6 +52,20 @@ from .smart_partition import (
 __all__ = [
     "SimCommunicator",
     "MpDistributedSCD",
+    "ClusterRuntime",
+    "RuntimeProfile",
+    "RuntimeResult",
+    "FaultPolicy",
+    "LocalSolver",
+    "CommBackend",
+    "InProcessBackend",
+    "PipeProcessBackend",
+    "WorkerUpdate",
+    "RoundOutcome",
+    "PermutationStream",
+    "plan_partitions",
+    "scatter_weights",
+    "shared_sizing",
     "FaultInjector",
     "FaultReport",
     "FaultSpec",

@@ -1,16 +1,19 @@
 """Distributed SCD over real OS processes (validation backend).
 
 The simulation engine (`repro.core.distributed.DistributedSCD`) executes the
-workers' epochs in-process and *models* time.  This backend executes the
-same Algorithm 3/4 with each worker in its own ``multiprocessing`` process,
-communicating shared-vector deltas over pipes — true parallel execution
-with real synchronization.
+workers' epochs in-process and *models* time.  This facade runs the same
+Algorithm 3/4 through the same :class:`~repro.cluster.runtime.ClusterRuntime`
+epoch loop, but over a :class:`~repro.cluster.runtime.PipeProcessBackend` —
+each worker in its own ``multiprocessing`` process, communicating
+shared-vector deltas over pipes: true parallel execution with real
+synchronization.
 
-Because both backends run identical kernels with identical permutation
-streams (same seeds, same partitioner), their trajectories must agree to
-floating-point equality; ``tests/test_mp_cluster.py`` asserts exactly that,
-which is the strongest available check that the simulated engine's
-*semantics* (as opposed to its time model) are faithful.
+Because both backends run identical kernels with identical precompute and
+permutation streams (same seeds, same partitioner), their trajectories must
+agree *bitwise*; ``tests/test_runtime.py`` (cross-backend parity) and
+``tests/test_mp_cluster.py`` assert exactly that, which is the strongest
+available check that the simulated engine's *semantics* (as opposed to its
+time model) are faithful.
 
 Scope: sequential-SCD local solvers (the paper's CPU cluster), both
 formulations, averaging/adaptive/adding aggregation.  The GPU solvers stay
@@ -42,24 +45,30 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.aggregation import AggregationStats, make_aggregator
+from ..core.aggregation import make_aggregator
 from ..core.distributed import DistributedTrainResult
-from ..metrics import ConvergenceHistory, ConvergenceRecord
-from ..objectives.ridge import RidgeProblem
-from ..obs import resolve_tracer
+from ..objectives.ridge import RidgeProblem, gap_and_objective
 from ..shards import ShardingConfig, ShardStore
 from ..solvers.kernels import dual_epoch_sequential, primal_epoch_sequential
-from .faults import (
-    DEFAULT_RETRY,
-    FaultInjector,
-    FaultReport,
-    FaultSpec,
-    WorkerEpochFaults,
-    make_fault_injector,
-)
+from .faults import FaultInjector, FaultSpec, make_fault_injector
 from .partition import random_partition
+from .runtime import (
+    ClusterRuntime,
+    FaultPolicy,
+    PipeProcessBackend,
+    RuntimeProfile,
+    plan_partitions,
+)
 
 __all__ = ["MpDistributedSCD"]
+
+_MP_PROFILE = RuntimeProfile(
+    root_span="mp.train",
+    bind_span=False,
+    local_compute_span=False,
+    aggregate_span=False,
+    extras="gamma",
+)
 
 
 def _worker_loop(conn, payload: dict) -> None:
@@ -80,23 +89,11 @@ def _worker_loop(conn, payload: dict) -> None:
     weights = np.zeros(n_local)
 
     nlam = n_global * lam
-    if formulation == "primal":
-        # y here is the global label vector; precompute <y, a_m>
-        y_dots = np.zeros(n_local)
-        for j in range(n_local):
-            lo, hi = indptr[j], indptr[j + 1]
-            y_dots[j] = data[lo:hi] @ y[indices[lo:hi]]
-        norms = np.zeros(n_local)
-        for j in range(n_local):
-            lo, hi = indptr[j], indptr[j + 1]
-            norms[j] = data[lo:hi] @ data[lo:hi]
-        inv_denom = 1.0 / (norms + nlam)
-    else:
-        norms = np.zeros(n_local)
-        for j in range(n_local):
-            lo, hi = indptr[j], indptr[j + 1]
-            norms[j] = data[lo:hi] @ data[lo:hi]
-        inv_denom = 1.0 / (nlam + norms)
+    # precomputed by the parent through the same matrix routines the
+    # simulated factory binds with, so both backends run bitwise-identical
+    # kernels (a per-row dot product here would differ in the last ulp)
+    y_dots = payload["y_dots"]
+    inv_denom = payload["inv_denom"]
 
     while True:
         msg, shared = conn.recv()
@@ -189,8 +186,9 @@ class MpDistributedSCD:
                 )
             self._groups = store.partition(self.n_workers)
             return [store.coords_of(g) for g in self._groups]
-        rng = np.random.default_rng(self.seed)
-        return list(self.partitioner(n_coords, self.n_workers, rng))
+        return plan_partitions(
+            n_coords, self.n_workers, self.seed, self.partitioner, None, (0, 0)
+        )[0]
 
     def _payloads(self, problem: RidgeProblem, parts: Sequence[np.ndarray]):
         if self.formulation == "primal":
@@ -211,18 +209,32 @@ class MpDistributedSCD:
                 local, _ = self.shards.store.assemble(self._groups[rank])
             else:
                 local = matrix.take_major(coords)
+            if local.dtype != np.float64:
+                local = local.astype(np.float64)
             y_local = (
                 problem.y.astype(np.float64)
                 if self.formulation == "primal"
                 else problem.y[coords].astype(np.float64)
             )
+            nlam = problem.n * problem.lam
+            # identical precompute path to SequentialKernelFactory.bind_*:
+            # the matrix-level reductions, not per-row dot products, so a
+            # child's kernel inputs match the simulated worker's bitwise
+            if self.formulation == "primal":
+                y_dots = local.rmatvec(y_local)
+                inv_denom = 1.0 / (local.col_norms_sq() + nlam)
+            else:
+                y_dots = None
+                inv_denom = 1.0 / (nlam + local.row_norms_sq())
             payloads.append(
                 {
                     "formulation": self.formulation,
                     "indptr": local.indptr,
                     "indices": local.indices,
-                    "data": local.data.astype(np.float64),
+                    "data": local.data,
                     "y": y_local,
+                    "y_dots": y_dots,
+                    "inv_denom": inv_denom,
                     "n_global": problem.n,
                     "lam": problem.lam,
                     "n_local": coords.shape[0],
@@ -230,11 +242,6 @@ class MpDistributedSCD:
                 }
             )
         return payloads
-
-    def _gap(self, weights: np.ndarray, problem: RidgeProblem):
-        if self.formulation == "primal":
-            return problem.primal_gap(weights), problem.primal_objective(weights)
-        return problem.dual_gap(weights), problem.dual_objective(weights)
 
     # -- training ------------------------------------------------------------------
     def solve(
@@ -246,190 +253,50 @@ class MpDistributedSCD:
         target_gap: float | None = None,
         tracer=None,
     ) -> DistributedTrainResult:
-        if n_epochs < 0:
-            raise ValueError("n_epochs must be non-negative")
-        if monitor_every < 1:
-            raise ValueError("monitor_every must be >= 1")
-        tracer = resolve_tracer(tracer)
         parts = self._partitions(problem)
         payloads = self._payloads(problem, parts)
         shared_len = problem.n if self.formulation == "primal" else problem.m
-        shared = np.zeros(shared_len)
-        weights_by_rank = [np.zeros(p.shape[0]) for p in parts]
-        history = ConvergenceHistory(label=self.name)
-        ledger = tracer.open_ledger()
-        gammas: list[float] = []
-        root_span = tracer.span(
-            "mp.train", category="driver", solver=self.name,
-            n_workers=self.n_workers, n_epochs=n_epochs,
+        n_model = problem.m if self.formulation == "primal" else problem.n
+        backend = PipeProcessBackend(
+            ctx=self._ctx,
+            worker_target=_worker_loop,
+            payloads=payloads,
+            parts=list(parts),
+            n_model_coords=n_model,
+            gap_fn=lambda w: gap_and_objective(problem, w, self.formulation),
         )
-        root_span.__enter__()
-
-        pipes = []
-        procs = []
-        try:
-            for payload in payloads:
-                parent_conn, child_conn = self._ctx.Pipe()
-                proc = self._ctx.Process(
-                    target=_worker_loop, args=(child_conn, payload), daemon=True
-                )
-                proc.start()
-                child_conn.close()
-                pipes.append(parent_conn)
-                procs.append(proc)
-
-            t0 = time.perf_counter()
-            weights = self._assemble(parts, weights_by_rank, problem)
-            with tracer.span("gap_eval", category="monitor", epoch=0):
-                gap, obj = self._gap(weights, problem)
-            history.append(
-                ConvergenceRecord(
-                    epoch=0, gap=gap, objective=obj,
-                    sim_time=0.0, wall_time=0.0, updates=0,
-                )
-            )
-            updates = 0
-            report = FaultReport() if self.faults is not None else None
-            benign = WorkerEpochFaults()
-            for epoch in range(1, n_epochs + 1):
-                epoch_span = tracer.span("epoch", category="driver", epoch=epoch)
-                epoch_span.__enter__()
-                plan = (
-                    self.faults.plan_epoch(epoch, self.n_workers)
-                    if self.faults is not None
-                    else None
-                )
-                if report is not None:
-                    report.epochs += 1
-                # dropout faults: the child is not asked to run this epoch,
-                # so its permutation stream does not advance (matching the
-                # simulated engine's semantics)
-                active = [
-                    rank
-                    for rank in range(self.n_workers)
-                    if plan is None or not plan[rank].dropout
-                ]
-                if report is not None:
-                    report.dropouts += self.n_workers - len(active)
-                for rank in active:
-                    pipes[rank].send(("epoch", shared))
-                dshared_total = np.zeros(shared_len)
-                model_dot = 0.0
-                dmodel_norm = 0.0
-                dmodel_y = 0.0
-                dweights_by_rank: dict[int, np.ndarray] = {}
-                arrived_ranks: list[int] = []
-                max_worker_s = 0.0
-                for rank in active:
-                    dshared, dweights, stats, elapsed = pipes[rank].recv()
-                    wf = plan[rank] if plan is not None else benign
-                    max_worker_s = max(max_worker_s, elapsed)
-                    updates += parts[rank].shape[0]
-                    dweights_by_rank[rank] = dweights
-                    # stale updates have no next-round buffer against real
-                    # processes; they count as lost, like retry exhaustion
-                    lost = (
-                        wf.drop_update
-                        or wf.stale_update
-                        or DEFAULT_RETRY.exhausted(wf.send_failures)
-                    )
-                    if lost:
-                        if report is not None:
-                            report.dropped_updates += 1
-                        continue
-                    arrived_ranks.append(rank)
-                    dshared_total += dshared
-                    model_dot += stats[0]
-                    dmodel_norm += stats[1]
-                    dmodel_y += stats[2]
-                n_arrived = len(arrived_ranks)
-                if report is not None:
-                    report.survivor_counts.append(n_arrived)
-                if n_arrived:
-                    if self.formulation == "primal":
-                        resid_dot = float((shared - problem.y) @ dshared_total)
-                    else:
-                        resid_dot = float(shared @ dshared_total)
-                    gamma = self.aggregator.gamma(
-                        AggregationStats(
-                            formulation=self.formulation,
-                            n=problem.n,
-                            lam=problem.lam,
-                            n_workers=n_arrived,
-                            resid_dot_dshared=resid_dot,
-                            dshared_norm_sq=float(dshared_total @ dshared_total),
-                            model_dot_dmodel=model_dot,
-                            dmodel_norm_sq=dmodel_norm,
-                            dmodel_dot_y=dmodel_y,
-                        )
-                    )
-                else:
-                    gamma = 0.0
-                gammas.append(gamma)
-                shared += gamma * dshared_total
-                for rank in active:
-                    # a lost update folds gamma = 0 so the child reverts and
-                    # stays consistent with the broadcast shared vector
-                    g = gamma if rank in arrived_ranks else 0.0
-                    pipes[rank].send(g)
-                    weights_by_rank[rank] = (
-                        weights_by_rank[rank] + g * dweights_by_rank[rank]
-                    )
-                ledger.add("compute_host", max_worker_s)
-                epoch_span.__exit__(None, None, None)
-                tracer.count("dist.epochs")
-                tracer.observe("dist.gamma", gamma)
-                tracer.observe("dist.survivors", n_arrived)
-                if epoch % monitor_every == 0 or epoch == n_epochs:
-                    weights = self._assemble(parts, weights_by_rank, problem)
-                    with tracer.span("gap_eval", category="monitor", epoch=epoch):
-                        gap, obj = self._gap(weights, problem)
-                    history.append(
-                        ConvergenceRecord(
-                            epoch=epoch,
-                            gap=gap,
-                            objective=obj,
-                            sim_time=time.perf_counter() - t0,
-                            wall_time=time.perf_counter() - t0,
-                            updates=updates,
-                            extras={"gamma": gamma},
-                        )
-                    )
-                    if target_gap is not None and gap <= target_gap:
-                        break
-        finally:
-            for conn in pipes:
-                try:
-                    conn.send(("stop", None))
-                    conn.close()
-                except (BrokenPipeError, OSError):
-                    pass
-            for proc in procs:
-                proc.join(timeout=10)
-                if proc.is_alive():  # pragma: no cover - hung child guard
-                    proc.terminate()
-
-        root_span.__exit__(None, None, None)
-        weights = self._assemble(parts, weights_by_rank, problem)
-        if tracer.enabled and report is not None:
-            report.record_to(tracer.metrics)
+        runtime = ClusterRuntime(
+            backend=backend,
+            aggregator=self.aggregator,
+            formulation=self.formulation,
+            faults=FaultPolicy(
+                injector=self.faults,
+                # stale updates have no next-round buffer against real
+                # processes; they count as lost, like retry exhaustion
+                stale_buffering=False,
+                count_retry_exhausted=False,
+            ),
+            profile=_MP_PROFILE,
+            name=lambda: self.name,
+        )
+        rt = runtime.run(
+            problem,
+            n_epochs,
+            shared_len=shared_len,
+            monitor_every=monitor_every,
+            target_gap=target_gap,
+            tracer=tracer,
+        )
         return DistributedTrainResult(
             formulation=self.formulation,
-            weights=weights,
-            shared=shared,
-            history=history,
-            ledger=ledger,
-            partitions=parts,
+            weights=backend.global_weights(),
+            shared=rt.shared,
+            history=rt.history,
+            ledger=rt.ledger,
+            partitions=list(parts),
             solver_name=self.name,
-            gammas=gammas,
-            fault_report=report,
-            trace=tracer if tracer.enabled else None,
-            metrics=tracer.metrics if tracer.enabled else None,
+            gammas=rt.gammas,
+            fault_report=rt.report,
+            trace=rt.tracer if rt.tracer.enabled else None,
+            metrics=rt.tracer.metrics if rt.tracer.enabled else None,
         )
-
-    def _assemble(self, parts, weights_by_rank, problem) -> np.ndarray:
-        n_coords = problem.m if self.formulation == "primal" else problem.n
-        out = np.zeros(n_coords)
-        for coords, w in zip(parts, weights_by_rank):
-            out[coords] = w
-        return out

@@ -1,0 +1,829 @@
+"""The unified synchronous-epoch cluster runtime.
+
+The paper's distributed algorithms (Alg. 3, Alg. 4, and the Section V
+distributed TPA-SCD composition) are one synchronous scheme — local solve ->
+Reduce deltas -> gamma*_t aggregation -> Broadcast -> workers fold
+``gamma_t * dmodel``.  This module implements that scheme *once* with five
+pluggable seams, and the engine classes (`DistributedSCD`, `DistributedSvm`,
+`MpDistributedSCD`) become thin facades that assemble a runtime from parts:
+
+* **Partitioner** — :func:`plan_partitions`: feature/example random (or
+  custom) partitions, or shard-group-aligned partitions for out-of-core
+  stores;
+* **CommBackend** — :class:`InProcessBackend` (workers execute in-process,
+  communication priced by :class:`~repro.cluster.comm.SimCommunicator`) vs
+  :class:`PipeProcessBackend` (real ``multiprocessing`` workers over pipes,
+  real wall-clock); one interface carries Reduce/Broadcast plus the adaptive
+  rule's extra scalars;
+* **LocalSolver** — the :class:`LocalSolver` protocol adapts what a worker
+  does between barriers: CPU/GPU SCD kernels (``core/distributed.py``) or
+  SVM dual updates (``core/distributed_svm.py``);
+* **AggregationPolicy** — any :class:`~repro.core.aggregation.Aggregator`
+  (averaging / adding / adaptive gamma* / scaled sigma'/K);
+* **FaultPolicy** — :class:`FaultPolicy` wraps a
+  :class:`~repro.cluster.faults.FaultInjector` and fixes the degraded-mode
+  semantics (stale updates buffered for the next round vs counted as lost,
+  survivor-rescaled aggregation, retry-exhaustion bookkeeping).
+
+The epoch loop, ledger booking (compute / PCIe / reduce+broadcast /
+wait_straggler / retry phases), tracer spans, shard streaming hookup,
+convergence-history recording and early stopping all live in
+:meth:`ClusterRuntime.run`.
+
+Bit-identity contract: every facade must produce bitwise-identical weights,
+histories and ledger totals to the pre-refactor engines.  The operation
+*order* here is therefore load-bearing — accumulation order, the float
+association of the per-epoch time folds (:attr:`RuntimeProfile.group_net_retry`),
+and the exact placement of RNG draws are all pinned by
+``tests/data/runtime_goldens.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Protocol, Sequence
+
+import numpy as np
+
+from ..core.aggregation import AggregationStats, Aggregator
+from ..metrics import ConvergenceHistory, ConvergenceRecord
+from ..obs import resolve_tracer
+from ..shards import ShardingConfig
+from .comm import SimCommunicator
+from .faults import (
+    DEFAULT_RETRY,
+    FaultInjector,
+    FaultReport,
+    RetryPolicy,
+    WorkerEpochFaults,
+)
+
+__all__ = [
+    "ClusterRuntime",
+    "RuntimeProfile",
+    "RuntimeResult",
+    "FaultPolicy",
+    "LocalSolver",
+    "CommBackend",
+    "InProcessBackend",
+    "PipeProcessBackend",
+    "WorkerUpdate",
+    "RoundOutcome",
+    "PermutationStream",
+    "plan_partitions",
+    "scatter_weights",
+    "shared_sizing",
+]
+
+_BENIGN = WorkerEpochFaults()
+
+
+# ---------------------------------------------------------------------------
+# shared delivery helpers (also used by the async parameter server)
+# ---------------------------------------------------------------------------
+class PermutationStream:
+    """Chained fresh random permutations over ``n`` local coordinates.
+
+    Partial rounds / batches still visit every coordinate exactly once per
+    full pass (epoch-equivalent).  The generator is shared with the caller
+    (local kernels may draw from the same stream), so the draw order here is
+    part of the trajectory contract.
+    """
+
+    def __init__(self, n: int, rng: np.random.Generator) -> None:
+        self.n = int(n)
+        self.rng = rng
+        self._perm: np.ndarray | None = None
+        self._cursor = 0
+
+    def take(self, count: int) -> np.ndarray:
+        out: list[np.ndarray] = []
+        remaining = count
+        while remaining > 0:
+            if self._perm is None or self._cursor >= self.n:
+                self._perm = self.rng.permutation(self.n)
+                self._cursor = 0
+            take = min(remaining, self.n - self._cursor)
+            out.append(self._perm[self._cursor : self._cursor + take])
+            self._cursor += take
+            remaining -= take
+        return np.concatenate(out) if len(out) > 1 else out[0]
+
+
+def scatter_weights(
+    pairs: Iterable[tuple[np.ndarray, np.ndarray]], n_coords: int
+) -> np.ndarray:
+    """Assemble a global float64 vector from per-worker (coords, values)."""
+    out = np.zeros(n_coords, dtype=np.float64)
+    for coords, values in pairs:
+        out[coords] = values.astype(np.float64)
+    return out
+
+
+def plan_partitions(
+    n_coords: int,
+    n_workers: int,
+    seed: int,
+    partitioner: Callable[[int, int, np.random.Generator], Sequence[np.ndarray]],
+    shards: ShardingConfig | None,
+    matrix_shape: tuple[int, int],
+) -> tuple[list[np.ndarray], list[list[int]] | None]:
+    """The Partitioner seam.
+
+    Returns ``(parts, groups)``: the per-worker coordinate arrays and, for
+    out-of-core runs, the contiguous shard groups they are aligned to
+    (``None`` for in-memory runs).
+    """
+    if shards is not None:
+        store = shards.store
+        if store.n_major != n_coords or store.shape != matrix_shape:
+            raise ValueError(
+                f"shard set covers a {store.shape} matrix, "
+                f"problem matrix is {matrix_shape}"
+            )
+        groups = store.partition(n_workers)
+        return [store.coords_of(g) for g in groups], groups
+    rng = np.random.default_rng(seed)
+    return list(partitioner(n_coords, n_workers, rng)), None
+
+
+def shared_sizing(formulation: str, problem, paper_scale) -> tuple[int, int, int]:
+    """``(shared_len, comm_bytes, paper_shared_len)`` for a problem.
+
+    The shared vector is the residual (primal, length N) or the dual shared
+    vector (length M); communication is priced at paper scale when a
+    :class:`~repro.core.scale.PaperScale` is installed (float32 on the wire).
+    """
+    shared_len = problem.n if formulation == "primal" else problem.m
+    paper_shared = (
+        paper_scale.shared_len(formulation) if paper_scale is not None else shared_len
+    )
+    return shared_len, 4 * paper_shared, paper_shared
+
+
+# ---------------------------------------------------------------------------
+# round data carriers
+# ---------------------------------------------------------------------------
+@dataclass
+class WorkerUpdate:
+    """One worker's contribution to a round: deltas plus billing metadata."""
+
+    rank: int
+    #: float64 shared-vector delta (what Reduce sums)
+    dshared: np.ndarray
+    #: float64 local-model delta (what the worker folds as ``gamma * dmodel``)
+    dmodel: np.ndarray
+    #: modelled fault-free compute seconds (simulated backends) or real
+    #: elapsed seconds (process backends)
+    compute_s: float = 0.0
+    #: coordinate updates performed
+    n_updates: int = 0
+    #: ledger phase the compute time bills to
+    component: str = "compute_host"
+
+
+@dataclass
+class RoundOutcome:
+    """Everything one synchronous round produced, before aggregation."""
+
+    delivered: list[WorkerUpdate] = field(default_factory=list)
+    #: Algorithm 4's worker-side scalars, summed in delivery order
+    model_dot: float = 0.0
+    dmodel_norm_sq: float = 0.0
+    dmodel_dot_y: float = 0.0
+    #: max over workers of fault-free compute (what the ledger bills)
+    fault_free_compute_s: float = 0.0
+    #: max over workers including straggler multipliers
+    max_compute_s: float = 0.0
+    #: max over workers including exposed shard streaming
+    max_wall_s: float = 0.0
+    #: modelled retry/backoff overhead of transient transfer failures
+    retry_s: float = 0.0
+    compute_component: str = "compute_host"
+    any_computed: bool = False
+    n_updates: int = 0
+
+
+# ---------------------------------------------------------------------------
+# FaultPolicy seam
+# ---------------------------------------------------------------------------
+@dataclass
+class FaultPolicy:
+    """Degraded-mode semantics around a (possibly absent) fault injector.
+
+    ``stale_buffering`` — a delayed update is buffered and joins the *next*
+    aggregation round (the simulated SCD engine); when ``False`` stale
+    updates are simply lost (SDCA keeps no stale buffer; real processes have
+    no next-round buffer either).  ``count_retry_exhausted`` preserves each
+    engine's historical report bookkeeping: only the stale-buffering engine
+    itemizes retry-exhausted losses separately.
+    """
+
+    injector: FaultInjector | None = None
+    stale_buffering: bool = True
+    count_retry_exhausted: bool = True
+    retry: RetryPolicy = DEFAULT_RETRY
+
+    def open_report(self) -> FaultReport | None:
+        return FaultReport() if self.injector is not None else None
+
+    def plan(self, epoch: int, n_workers: int):
+        if self.injector is None:
+            return None
+        return self.injector.plan_epoch(epoch, n_workers)
+
+    def verdict(self, wf: WorkerEpochFaults) -> tuple[str, bool]:
+        """``("deliver" | "stale" | "lost", retry_exhausted)`` for one worker."""
+        exhausted = self.retry.exhausted(wf.send_failures)
+        if self.stale_buffering:
+            if wf.drop_update or exhausted:
+                return "lost", exhausted
+            if wf.stale_update:
+                return "stale", exhausted
+            return "deliver", exhausted
+        if wf.drop_update or wf.stale_update or exhausted:
+            return "lost", exhausted
+        return "deliver", exhausted
+
+
+# ---------------------------------------------------------------------------
+# LocalSolver seam
+# ---------------------------------------------------------------------------
+class LocalSolver(Protocol):
+    """What one worker does between barriers, for the in-process backend.
+
+    Implementations wrap the existing kernel machinery:
+    ``core.distributed._ScdWorkerPool`` binds :class:`KernelFactory` kernels
+    (CPU sequential or planned TPA-SCD GPU engines);
+    ``core.distributed_svm._SvmWorkerPool`` runs the inline clipped-SDCA
+    step.  All methods are rank-addressed; the pool owns the worker state.
+    """
+
+    n_workers: int
+
+    def bind(self, problem, tracer) -> None:
+        """Partition the problem and bind local data (shards: assemble)."""
+
+    def local_round(self, rank: int, shared: np.ndarray) -> WorkerUpdate:
+        """Run one local round against a snapshot of the shared vector."""
+
+    def delivery_stats(self, rank: int, upd: WorkerUpdate) -> tuple[float, float, float]:
+        """Algorithm 4 worker scalars ``(<w, dw>, ||dw||^2, <dw, y_k>)``."""
+
+    def fold(self, rank: int, gamma: float, upd: WorkerUpdate) -> None:
+        """Fold a delivered update into local state with the round's gamma."""
+
+    def discard(self, rank: int, upd: WorkerUpdate) -> None:
+        """A lost update: restore local state consistent with the broadcast."""
+
+    def streamer(self, rank: int):
+        """The worker's shard streamer, or ``None`` for in-memory data."""
+
+    def gap_objective(self, problem) -> tuple[float, float]:
+        """Offline (gap, objective) of the assembled global model."""
+
+    def close(self) -> None:
+        """Release out-of-core resources."""
+
+
+# ---------------------------------------------------------------------------
+# CommBackend seam
+# ---------------------------------------------------------------------------
+class CommBackend(Protocol):
+    """One synchronous round's execution + communication substrate."""
+
+    #: True when the backend prices time with the performance models
+    #: (sim_time = modelled seconds); False when epochs run on real
+    #: wall-clock (sim_time = elapsed seconds, ledger bills real compute)
+    models_time: bool
+    n_workers: int
+
+    def install(self, tracer) -> None: ...
+
+    def open(self, problem, tracer) -> None: ...
+
+    def run_round(
+        self, epoch, shared, plan, report, policy, ledger, comm_bytes, needs_stats
+    ) -> RoundOutcome: ...
+
+    def reduce(self, parts: list[np.ndarray], like: np.ndarray) -> np.ndarray: ...
+
+    def finish_round(self, gamma: float, outcome: RoundOutcome) -> None: ...
+
+    def network_seconds(self, nbytes: int, n_scalars: int) -> float: ...
+
+    def gap_objective(self, problem) -> tuple[float, float]: ...
+
+    def close(self) -> None: ...
+
+
+class InProcessBackend:
+    """Workers execute in-process; communication time is *modelled*.
+
+    Local solves are delegated to a :class:`LocalSolver` pool; Reduce,
+    Broadcast, the adaptive rule's scalars and transient-failure retries are
+    priced by a :class:`~repro.cluster.comm.SimCommunicator`.  Stale-update
+    buffers (one slot per rank) live here: a buffered update is delivered at
+    the *start* of the next round, before that round's dropout check.
+    """
+
+    models_time = True
+
+    def __init__(self, comm: SimCommunicator, solver: LocalSolver) -> None:
+        self.comm = comm
+        self.solver = solver
+        self._stale: list[WorkerUpdate | None] = []
+
+    @property
+    def n_workers(self) -> int:
+        return self.solver.n_workers
+
+    def install(self, tracer) -> None:
+        self.comm.metrics = tracer.metrics if tracer.enabled else None
+
+    def open(self, problem, tracer) -> None:
+        self.solver.bind(problem, tracer)
+        self._stale = [None] * self.solver.n_workers
+
+    def _deliver(self, out: RoundOutcome, upd: WorkerUpdate, needs_stats: bool) -> None:
+        out.delivered.append(upd)
+        if needs_stats:
+            md, dn, dy = self.solver.delivery_stats(upd.rank, upd)
+            out.model_dot += md
+            out.dmodel_norm_sq += dn
+            out.dmodel_dot_y += dy
+
+    def run_round(
+        self, epoch, shared, plan, report, policy, ledger, comm_bytes, needs_stats
+    ) -> RoundOutcome:
+        solver, comm = self.solver, self.comm
+        out = RoundOutcome()
+        for rank in range(self.n_workers):
+            wf = plan[rank] if plan is not None else _BENIGN
+            buffered = self._stale[rank]
+            if buffered is not None:
+                # last round's delayed update arrives now and is folded with
+                # this round's gamma
+                self._stale[rank] = None
+                self._deliver(out, buffered, needs_stats)
+            if wf.dropout:
+                report.dropouts += 1
+                continue
+            upd = solver.local_round(rank, shared)
+            out.fault_free_compute_s = max(out.fault_free_compute_s, upd.compute_s)
+            worker_wall = upd.compute_s * wf.straggler_multiplier
+            out.max_compute_s = max(out.max_compute_s, worker_wall)
+            streamer = solver.streamer(rank)
+            if streamer is not None:
+                # stream the shard group once per local round; with prefetch
+                # only the excess over compute extends this worker's wall clock
+                worker_wall += streamer.stream_epoch(ledger, compute_s=worker_wall)
+            out.max_wall_s = max(out.max_wall_s, worker_wall)
+            out.compute_component = upd.component
+            out.n_updates += upd.n_updates
+            out.any_computed = True
+            if report is not None:
+                if wf.straggler_multiplier > 1.0:
+                    report.stragglers += 1
+                report.transient_failures += wf.send_failures + wf.recv_failures
+            out.retry_s += comm.retry_seconds(comm_bytes, wf.send_failures)
+            out.retry_s += comm.retry_seconds(comm_bytes, wf.recv_failures)
+            verdict, exhausted = policy.verdict(wf)
+            if verdict == "lost":
+                # the update never reached the master; the worker restores
+                # state consistent with the broadcast shared vector
+                report.dropped_updates += 1
+                if exhausted and policy.count_retry_exhausted:
+                    report.retry_exhausted += 1
+                solver.discard(rank, upd)
+                continue
+            if verdict == "stale":
+                self._stale[rank] = upd
+                report.stale_updates += 1
+                continue
+            self._deliver(out, upd, needs_stats)
+        return out
+
+    def reduce(self, parts: list[np.ndarray], like: np.ndarray) -> np.ndarray:
+        return self.comm.reduce_sum_partial(parts, like=like)
+
+    def finish_round(self, gamma: float, outcome: RoundOutcome) -> None:
+        for upd in outcome.delivered:
+            self.solver.fold(upd.rank, gamma, upd)
+
+    def network_seconds(self, nbytes: int, n_scalars: int) -> float:
+        return (
+            self.comm.reduce_seconds(nbytes)
+            + self.comm.bcast_seconds(nbytes)
+            + self.comm.scalars_seconds(n_scalars)
+        )
+
+    def gap_objective(self, problem) -> tuple[float, float]:
+        return self.solver.gap_objective(problem)
+
+    def close(self) -> None:
+        self.solver.close()
+
+
+class PipeProcessBackend:
+    """Real ``multiprocessing`` workers over pipes; time is real wall-clock.
+
+    The parent broadcasts the shared vector, children run one local epoch and
+    reply ``(dshared, dweights, stats, elapsed)``; after aggregation the
+    parent sends gamma back (0 for a lost update, so the child reverts and
+    stays consistent with the broadcast).  Dropout faults skip the send
+    entirely — the child's permutation stream does not advance, matching the
+    simulated engine's semantics.  Time-only faults (stragglers, retry
+    latency) have no meaning against real wall-clock and are ignored by the
+    caller's :class:`FaultPolicy` configuration (``models_time = False``).
+    """
+
+    models_time = False
+
+    def __init__(
+        self,
+        *,
+        ctx,
+        worker_target: Callable,
+        payloads: list[dict],
+        parts: list[np.ndarray],
+        n_model_coords: int,
+        gap_fn: Callable[[np.ndarray], tuple[float, float]],
+    ) -> None:
+        self.ctx = ctx
+        self.worker_target = worker_target
+        self.payloads = payloads
+        self.parts = parts
+        self.n_model_coords = n_model_coords
+        self.gap_fn = gap_fn
+        self.n_workers = len(payloads)
+        self.weights_by_rank = [np.zeros(p.shape[0]) for p in parts]
+        self.pipes: list[Any] = []
+        self.procs: list[Any] = []
+        self._active: list[int] = []
+        self._dweights: dict[int, np.ndarray] = {}
+
+    def install(self, tracer) -> None:
+        pass
+
+    def open(self, problem, tracer) -> None:
+        for payload in self.payloads:
+            parent_conn, child_conn = self.ctx.Pipe()
+            proc = self.ctx.Process(
+                target=self.worker_target, args=(child_conn, payload), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self.pipes.append(parent_conn)
+            self.procs.append(proc)
+
+    def run_round(
+        self, epoch, shared, plan, report, policy, ledger, comm_bytes, needs_stats
+    ) -> RoundOutcome:
+        out = RoundOutcome()
+        active = [
+            rank
+            for rank in range(self.n_workers)
+            if plan is None or not plan[rank].dropout
+        ]
+        if report is not None:
+            report.dropouts += self.n_workers - len(active)
+        for rank in active:
+            self.pipes[rank].send(("epoch", shared))
+        self._active = active
+        self._dweights = {}
+        for rank in active:
+            dshared, dweights, stats, elapsed = self.pipes[rank].recv()
+            wf = plan[rank] if plan is not None else _BENIGN
+            out.fault_free_compute_s = max(out.fault_free_compute_s, elapsed)
+            out.n_updates += self.parts[rank].shape[0]
+            self._dweights[rank] = dweights
+            verdict, _ = policy.verdict(wf)
+            if verdict == "lost":
+                if report is not None:
+                    report.dropped_updates += 1
+                continue
+            out.delivered.append(
+                WorkerUpdate(
+                    rank=rank,
+                    dshared=dshared,
+                    dmodel=dweights,
+                    compute_s=elapsed,
+                    n_updates=self.parts[rank].shape[0],
+                )
+            )
+            out.model_dot += stats[0]
+            out.dmodel_norm_sq += stats[1]
+            out.dmodel_dot_y += stats[2]
+        out.any_computed = bool(active)
+        return out
+
+    def reduce(self, parts: list[np.ndarray], like: np.ndarray) -> np.ndarray:
+        # master-side accumulation over whatever arrived, in rank order
+        out = np.zeros_like(like)
+        for p in parts:
+            out += p
+        return out
+
+    def finish_round(self, gamma: float, outcome: RoundOutcome) -> None:
+        arrived = {upd.rank for upd in outcome.delivered}
+        for rank in self._active:
+            # a lost update folds gamma = 0 so the child reverts and stays
+            # consistent with the broadcast shared vector
+            g = gamma if rank in arrived else 0.0
+            self.pipes[rank].send(g)
+            self.weights_by_rank[rank] = (
+                self.weights_by_rank[rank] + g * self._dweights[rank]
+            )
+        self._active = []
+        self._dweights = {}
+
+    def network_seconds(self, nbytes: int, n_scalars: int) -> float:
+        return 0.0  # real pipes: network time is inside the measured elapsed
+
+    def global_weights(self) -> np.ndarray:
+        return scatter_weights(
+            zip(self.parts, self.weights_by_rank), self.n_model_coords
+        )
+
+    def gap_objective(self, problem) -> tuple[float, float]:
+        return self.gap_fn(self.global_weights())
+
+    def close(self) -> None:
+        for conn in self.pipes:
+            try:
+                conn.send(("stop", None))
+                conn.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self.procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung child guard
+                proc.terminate()
+        self.pipes = []
+        self.procs = []
+
+
+# ---------------------------------------------------------------------------
+# the runtime
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RuntimeProfile:
+    """Per-facade surface configuration (spans, history extras, time folds).
+
+    These knobs exist to keep each facade's observable surface — span names,
+    history ``extras`` and the exact float association of the per-epoch time
+    accumulation — bitwise identical to its pre-runtime implementation.
+    """
+
+    root_span: str = "distributed.train"
+    bind_span: bool = True
+    local_compute_span: bool = True
+    aggregate_span: bool = True
+    #: "gamma+survivors" | "gamma" | "none"
+    extras: str = "gamma+survivors"
+    #: True  -> epoch_time += (net_s + retry_s)   (ridge engines)
+    #: False -> epoch_time = (epoch_time + net_s) + retry_s  (SVM engine);
+    #: the two differ by float association, which the goldens pin
+    group_net_retry: bool = True
+
+
+@dataclass
+class RuntimeResult:
+    """What one :meth:`ClusterRuntime.run` produced (facades shape results)."""
+
+    shared: np.ndarray
+    history: ConvergenceHistory
+    ledger: Any
+    gammas: list[float]
+    report: FaultReport | None
+    tracer: Any
+
+
+class ClusterRuntime:
+    """One synchronous-epoch training loop over pluggable seams.
+
+    Each epoch: (1) ``backend.run_round`` executes the local solves under the
+    fault plan, collecting the delivered :class:`WorkerUpdate`\\ s and billing
+    metadata; (2) the delivered shared-vector deltas are Reduced and the
+    aggregator's gamma applied to the shared vector; (3) ``finish_round``
+    folds ``gamma * dmodel`` into the surviving workers (Broadcast);
+    (4) modelled backends book compute / straggler wait / PCIe / network /
+    retry phases into the ledger and advance the simulated clock; (5) at
+    monitored epochs the assembled global model's duality gap is recorded.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: CommBackend,
+        aggregator: Aggregator,
+        formulation: str,
+        faults: FaultPolicy | None = None,
+        profile: RuntimeProfile | None = None,
+        name: Callable[[], str] | str = "cluster",
+        pcie=None,
+        host_model=None,
+    ) -> None:
+        self.backend = backend
+        self.aggregator = aggregator
+        self.formulation = formulation
+        self.faults = faults or FaultPolicy()
+        self.profile = profile or RuntimeProfile()
+        self._name = name if callable(name) else (lambda: name)
+        self.pcie = pcie
+        self.host_model = host_model
+
+    def run(
+        self,
+        problem,
+        n_epochs: int,
+        *,
+        shared_len: int,
+        comm_bytes: int = 0,
+        paper_shared: int = 0,
+        monitor_every: int = 1,
+        target_gap: float | None = None,
+        tracer=None,
+    ) -> RuntimeResult:
+        if n_epochs < 0:
+            raise ValueError("n_epochs must be non-negative")
+        if monitor_every < 1:
+            raise ValueError("monitor_every must be >= 1")
+        tracer = resolve_tracer(tracer)
+        backend = self.backend
+        profile = self.profile
+        policy = self.faults
+        aggregator = self.aggregator
+        needs_stats = getattr(aggregator, "needs_stats", True)
+        backend.install(tracer)
+
+        shared = np.zeros(shared_len, dtype=np.float64)
+        gammas: list[float] = []
+        report = policy.open_report()
+        root = tracer.span(
+            profile.root_span, category="driver", solver=self._name(),
+            n_workers=backend.n_workers, n_epochs=n_epochs,
+        )
+        with root:
+            try:
+                bind_cm = (
+                    tracer.span("bind", category="driver")
+                    if profile.bind_span
+                    else nullcontext()
+                )
+                with bind_cm:
+                    backend.open(problem, tracer)
+                history = ConvergenceHistory(label=self._name())
+                ledger = tracer.open_ledger()
+                t0 = time.perf_counter()
+                with tracer.span("gap_eval", category="monitor", epoch=0):
+                    gap, obj = backend.gap_objective(problem)
+                history.append(
+                    ConvergenceRecord(
+                        epoch=0, gap=gap, objective=obj, sim_time=0.0,
+                        wall_time=0.0, updates=0,
+                    )
+                )
+                sim_time = 0.0
+                updates = 0
+                for epoch in range(1, n_epochs + 1):
+                    with tracer.span("epoch", category="driver", epoch=epoch):
+                        plan = policy.plan(epoch, backend.n_workers)
+                        if report is not None:
+                            report.epochs += 1
+                        lc_cm = (
+                            tracer.span(
+                                "local_compute", category="cluster", epoch=epoch
+                            )
+                            if profile.local_compute_span
+                            else nullcontext()
+                        )
+                        with lc_cm:
+                            out = backend.run_round(
+                                epoch, shared, plan, report, policy, ledger,
+                                comm_bytes, needs_stats,
+                            )
+                        updates += out.n_updates
+                        n_arrived = len(out.delivered)
+                        if report is not None:
+                            report.survivor_counts.append(n_arrived)
+                        agg_cm = (
+                            tracer.span(
+                                "aggregate", category="cluster",
+                                epoch=epoch, survivors=n_arrived,
+                            )
+                            if profile.aggregate_span
+                            else nullcontext()
+                        )
+                        with agg_cm:
+                            if n_arrived:
+                                dshared = backend.reduce(
+                                    [u.dshared for u in out.delivered], shared
+                                )
+                                if needs_stats:
+                                    if self.formulation == "primal":
+                                        resid_dot = float(
+                                            (shared - problem.y.astype(np.float64))
+                                            @ dshared
+                                        )
+                                    else:
+                                        resid_dot = float(shared @ dshared)
+                                    dshared_norm_sq = float(dshared @ dshared)
+                                else:
+                                    resid_dot = 0.0
+                                    dshared_norm_sq = 0.0
+                                gamma = aggregator.gamma(
+                                    AggregationStats(
+                                        formulation=self.formulation,
+                                        n=problem.n,
+                                        lam=problem.lam,
+                                        n_workers=n_arrived,
+                                        resid_dot_dshared=resid_dot,
+                                        dshared_norm_sq=dshared_norm_sq,
+                                        model_dot_dmodel=out.model_dot,
+                                        dmodel_norm_sq=out.dmodel_norm_sq,
+                                        dmodel_dot_y=out.dmodel_dot_y,
+                                    )
+                                )
+                                shared += gamma * dshared
+                            else:
+                                # nothing arrived (every update lost or every
+                                # worker out): the shared vector stands and
+                                # training proceeds next epoch
+                                gamma = 0.0
+                            backend.finish_round(gamma, out)
+                        gammas.append(gamma)
+
+                        # -- time accounting --------------------------------
+                        ledger.add(out.compute_component, out.fault_free_compute_s)
+                        if backend.models_time:
+                            epoch_time = max(out.max_compute_s, out.max_wall_s)
+                            straggler_wait = (
+                                out.max_compute_s - out.fault_free_compute_s
+                            )
+                            if straggler_wait > 0.0:
+                                ledger.add("wait_straggler", straggler_wait)
+                                tracer.count(
+                                    "dist.straggler_wait_s", straggler_wait
+                                )
+                            if self.pcie is not None and out.any_computed:
+                                pcie_s = 2.0 * self.pcie.transfer_seconds(
+                                    4 * paper_shared
+                                )
+                                host_s = self.host_model.epoch_seconds(paper_shared)
+                                ledger.add("comm_pcie", pcie_s)
+                                ledger.add("compute_host", host_s)
+                                epoch_time += pcie_s + host_s
+                            net_s = backend.network_seconds(
+                                comm_bytes, aggregator.n_extra_scalars
+                            )
+                            ledger.add("comm_network", net_s)
+                            if out.retry_s > 0.0:
+                                ledger.add("comm_retry", out.retry_s)
+                            if profile.group_net_retry:
+                                epoch_time += net_s + out.retry_s
+                            else:
+                                epoch_time = epoch_time + net_s + out.retry_s
+                            sim_time += epoch_time
+                    tracer.count("dist.epochs")
+                    tracer.observe("dist.gamma", gamma)
+                    tracer.observe("dist.survivors", n_arrived)
+                    if epoch % monitor_every == 0 or epoch == n_epochs:
+                        with tracer.span("gap_eval", category="monitor", epoch=epoch):
+                            gap, obj = backend.gap_objective(problem)
+                        record_kwargs: dict = {}
+                        if profile.extras == "gamma+survivors":
+                            extras = {"gamma": gamma}
+                            if policy.injector is not None:
+                                extras["survivors"] = float(n_arrived)
+                            record_kwargs["extras"] = extras
+                        elif profile.extras == "gamma":
+                            record_kwargs["extras"] = {"gamma": gamma}
+                        history.append(
+                            ConvergenceRecord(
+                                epoch=epoch,
+                                gap=gap,
+                                objective=obj,
+                                sim_time=(
+                                    sim_time
+                                    if backend.models_time
+                                    else time.perf_counter() - t0
+                                ),
+                                wall_time=time.perf_counter() - t0,
+                                updates=updates,
+                                **record_kwargs,
+                            )
+                        )
+                        if target_gap is not None and gap <= target_gap:
+                            break
+            finally:
+                backend.close()
+        if tracer.enabled and report is not None:
+            report.record_to(tracer.metrics)
+        return RuntimeResult(
+            shared=shared, history=history, ledger=ledger, gammas=gammas,
+            report=report, tracer=tracer,
+        )

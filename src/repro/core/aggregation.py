@@ -70,6 +70,10 @@ class Aggregator:
     name = "base"
     #: extra float64 scalars communicated per epoch beyond the shared vector
     n_extra_scalars = 0
+    #: whether :meth:`gamma` reads the dot-product statistics; rules that
+    #: don't (averaging / adding / scaled) let the cluster runtime skip
+    #: computing them entirely, exactly as the pre-runtime SVM engine did
+    needs_stats = False
 
     def gamma(self, stats: AggregationStats) -> float:
         raise NotImplementedError
@@ -107,6 +111,7 @@ class AdaptiveAggregator(Aggregator):
 
     name = "adaptive"
     n_extra_scalars = 3
+    needs_stats = True
 
     def gamma(self, stats: AggregationStats) -> float:
         n, lam = stats.n, stats.lam
@@ -166,6 +171,7 @@ class LineSearchAggregator(Aggregator):
 
     name = "line-search"
     n_extra_scalars = 3
+    needs_stats = True
 
     def __init__(self, gamma_max: float = 4.0, tol: float = 1e-10) -> None:
         if gamma_max <= 0:

@@ -31,8 +31,9 @@ import numpy as np
 
 from ..cluster.comm import SimCommunicator
 from ..cluster.partition import random_partition
+from ..cluster.runtime import PermutationStream, scatter_weights
 from ..metrics import ConvergenceHistory, ConvergenceRecord
-from ..objectives.ridge import RidgeProblem
+from ..objectives.ridge import RidgeProblem, gap_and_objective
 from ..perf.ledger import TimeLedger
 from ..perf.link import Link
 from ..solvers.base import KernelFactory
@@ -130,49 +131,32 @@ class AsyncParameterServer:
                 )
             if not self._solver_label:
                 self._solver_label = factory.name
+            rng = np.random.default_rng(self.seed + 2000 + rank)
             workers.append(
                 {
                     "coords": coords,
                     "bound": bound,
                     "weights": np.zeros(coords.shape[0], dtype=bound.dtype),
-                    "rng": np.random.default_rng(self.seed + 2000 + rank),
-                    "perm": None,
-                    "cursor": 0,
+                    "rng": rng,
+                    # shares ``rng`` with the kernel, like the sync runtime
+                    "stream": PermutationStream(coords.shape[0], rng),
                     "snapshot": None,
                     "epoch_seconds": bound.epoch_seconds(),
                 }
             )
         return workers
 
-    @staticmethod
-    def _next_coords(wk, count: int) -> np.ndarray:
-        chunks = []
-        remaining = count
-        n_local = wk["coords"].shape[0]
-        while remaining > 0:
-            if wk["perm"] is None or wk["cursor"] >= n_local:
-                wk["perm"] = wk["rng"].permutation(n_local)
-                wk["cursor"] = 0
-            take = min(remaining, n_local - wk["cursor"])
-            chunks.append(wk["perm"][wk["cursor"] : wk["cursor"] + take])
-            wk["cursor"] += take
-            remaining -= take
-        return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
-
     def _shared_len(self, problem: RidgeProblem) -> int:
         return problem.n if self.formulation == "primal" else problem.m
 
     def _gap(self, weights: np.ndarray, problem: RidgeProblem):
-        if self.formulation == "primal":
-            return problem.primal_gap(weights), problem.primal_objective(weights)
-        return problem.dual_gap(weights), problem.dual_objective(weights)
+        return gap_and_objective(problem, weights, self.formulation)
 
     def _global_weights(self, workers, problem) -> np.ndarray:
         n_coords = problem.m if self.formulation == "primal" else problem.n
-        out = np.zeros(n_coords, dtype=np.float64)
-        for wk in workers:
-            out[wk["coords"]] = wk["weights"].astype(np.float64)
-        return out
+        return scatter_weights(
+            ((wk["coords"], wk["weights"]) for wk in workers), n_coords
+        )
 
     # -- training -------------------------------------------------------------
     def solve(
@@ -229,7 +213,7 @@ class AsyncParameterServer:
                         1,
                         int(round(self.batch_fraction * wk["coords"].shape[0])),
                     )
-                    perm = self._next_coords(wk, n_batch)
+                    perm = wk["stream"].take(n_batch)
                     local_view = wk["snapshot"].astype(bound.dtype)
                     before = local_view.copy()
                     bound.run_epoch(wk["weights"], local_view, perm, wk["rng"])

@@ -1,6 +1,6 @@
 """Distributed synchronous SCD (Algorithms 3 and 4, and Section V).
 
-One engine covers all three distributed configurations in the paper:
+One facade covers all three distributed configurations in the paper:
 
 * Algorithm 3 — distributed SCD with averaging aggregation, CPU local
   solvers, data partitioned by feature (primal) or by example (dual);
@@ -8,14 +8,12 @@ One engine covers all three distributed configurations in the paper:
 * Section V   — distributed TPA-SCD: GPU local solvers, with the shared
   vector crossing PCIe on and off each device every epoch.
 
-Every epoch follows the paper's synchronous scheme:
-
-1. each worker runs one local epoch against its copy of the shared vector;
-2. shared-vector deltas are Reduced to the master (binomial-tree network
-   cost) together with the adaptive rule's few scalars;
-3. the master computes gamma_t, applies the aggregated update and
-   Broadcasts the new shared vector;
-4. workers fold ``gamma_t * dmodel`` into their local weights.
+The synchronous epoch scheme itself — local solve, Reduce, gamma_t
+aggregation, Broadcast, ledger booking — lives in
+:class:`~repro.cluster.runtime.ClusterRuntime`; this module contributes the
+SCD-specific parts: the :class:`_ScdWorkerPool` local-solver adapter that
+binds :class:`KernelFactory` kernels (CPU or GPU) to the worker partitions,
+and the Section V PCIe/host-model pricing passed into the runtime.
 
 Modelled wall-clock per epoch = max over workers of local compute
 (+ host-side vector handling and PCIe transfers for GPU workers)
@@ -26,28 +24,29 @@ read-out.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..cluster.comm import SimCommunicator
-from ..cluster.faults import (
-    FaultInjector,
-    FaultReport,
-    FaultSpec,
-    WorkerEpochFaults,
-    make_fault_injector,
-)
+from ..cluster.faults import FaultInjector, FaultReport, FaultSpec, make_fault_injector
 from ..cluster.partition import random_partition
-from ..metrics import ConvergenceHistory, ConvergenceRecord
-from ..objectives.ridge import RidgeProblem
-from ..obs import resolve_tracer
+from ..cluster.runtime import (
+    ClusterRuntime,
+    FaultPolicy,
+    InProcessBackend,
+    PermutationStream,
+    WorkerUpdate,
+    plan_partitions,
+    scatter_weights,
+    shared_sizing,
+)
+from ..objectives.ridge import RidgeProblem, gap_and_objective
 from ..perf.link import Link
 from ..shards import ShardingConfig, ShardStore, ShardStreamer
 from ..solvers.base import BoundKernel, KernelFactory, TrainResult
-from .aggregation import AggregationStats, Aggregator, make_aggregator
+from .aggregation import Aggregator, make_aggregator
 from .scale import PaperScale
 
 __all__ = ["DistributedSCD", "DistributedTrainResult", "HostModel"]
@@ -80,32 +79,11 @@ class _WorkerState:
     y_local: np.ndarray
     rng: np.random.Generator
     epoch_compute_s: float
-    perm: np.ndarray | None = None
-    cursor: int = 0
+    #: chained permutations over the local coordinates; shares ``rng`` with
+    #: the kernel so the draw order matches the single stream the paper uses
+    stream: PermutationStream
     #: out-of-core data path for this worker's shard group (None = in-memory)
     streamer: ShardStreamer | None = None
-    #: update computed last epoch but delayed in transit (stale-update fault);
-    #: delivered to the next aggregation round
-    stale_buffer: tuple[np.ndarray, np.ndarray] | None = None
-
-    def next_coords(self, count: int) -> np.ndarray:
-        """The next ``count`` local coordinates of the permutation stream.
-
-        Fresh random permutations are chained so partial rounds still visit
-        every coordinate exactly once per full pass (epoch-equivalent).
-        """
-        out: list[np.ndarray] = []
-        remaining = count
-        n_local = self.coords.shape[0]
-        while remaining > 0:
-            if self.perm is None or self.cursor >= n_local:
-                self.perm = self.rng.permutation(n_local)
-                self.cursor = 0
-            take = min(remaining, n_local - self.cursor)
-            out.append(self.perm[self.cursor : self.cursor + take])
-            self.cursor += take
-            remaining -= take
-        return np.concatenate(out) if len(out) > 1 else out[0]
 
 
 @dataclass(kw_only=True)
@@ -116,6 +94,145 @@ class DistributedTrainResult(TrainResult):
     gammas: list[float]
     #: populated when a :class:`FaultInjector` was installed, else ``None``
     fault_report: FaultReport | None = None
+
+
+class _ScdWorkerPool:
+    """LocalSolver adapter: SCD kernel workers for the in-process backend.
+
+    Owns the per-rank :class:`_WorkerState` and implements the runtime's
+    local-round contract: compute against a shared-vector snapshot, report
+    Algorithm 4's worker scalars at delivery time, fold ``gamma * dweights``
+    after aggregation.  A lost update needs no rollback — the scratch
+    weights are simply discarded, the bound state never changed.
+    """
+
+    def __init__(self, engine: "DistributedSCD") -> None:
+        self.engine = engine
+        self.n_workers = engine.n_workers
+        self.workers: list[_WorkerState] = []
+
+    def bind(self, problem: RidgeProblem, tracer) -> None:
+        eng = self.engine
+        if eng.formulation == "primal":
+            matrix = problem.dataset.csc
+            n_coords_total = problem.m
+        else:
+            matrix = problem.dataset.csr
+            n_coords_total = problem.n
+        parts, groups = plan_partitions(
+            n_coords_total, eng.n_workers, eng.seed, eng.partitioner,
+            eng.shards, matrix.shape,
+        )
+        total_nnz = matrix.nnz
+        for rank, coords in enumerate(parts):
+            streamer = None
+            if groups is not None:
+                streamer = ShardStreamer(
+                    eng.shards, groups[rank], tracer=tracer, worker=rank
+                )
+                local = streamer.assemble()
+            else:
+                local = matrix.take_major(coords)
+            factory = eng._factory_for(rank)
+            if tracer is not None and tracer.enabled:
+                # device factories forward the tracer to their wave engines
+                factory.tracer = tracer
+            if streamer is not None:
+                # device factories skip the bulk dataset allocation: the
+                # shard cache books residency against device memory instead
+                factory.out_of_core = True
+            if eng.paper_scale is not None:
+                factory.timing_workload = eng.paper_scale.worker_workload(
+                    eng.formulation,
+                    coords.shape[0] / n_coords_total,
+                    (local.nnz / total_nnz) if total_nnz else 0.0,
+                )
+            if eng.formulation == "primal":
+                bound = factory.bind_primal(local, problem.y, problem.n, problem.lam)
+                y_local = problem.y
+            else:
+                y_local = problem.y[coords]
+                bound = factory.bind_dual(local, y_local, problem.n, problem.lam)
+            if streamer is not None:
+                device = getattr(factory, "device", None)
+                if device is not None:
+                    # residency competes with the solver's vectors on-device;
+                    # attach after bind so the reset device is the budget
+                    streamer.attach_device(device.memory)
+            if not eng._solver_label:
+                eng._solver_label = factory.name
+            rng = np.random.default_rng(eng.seed + 1000 + rank)
+            self.workers.append(
+                _WorkerState(
+                    coords=coords,
+                    bound=bound,
+                    weights=np.zeros(coords.shape[0], dtype=bound.dtype),
+                    y_local=y_local.astype(bound.dtype, copy=False),
+                    rng=rng,
+                    epoch_compute_s=bound.epoch_seconds(),
+                    stream=PermutationStream(coords.shape[0], rng),
+                    streamer=streamer,
+                )
+            )
+
+    def local_round(self, rank: int, shared: np.ndarray) -> WorkerUpdate:
+        wk = self.workers[rank]
+        round_fraction = self.engine.round_fraction
+        local_shared = shared.astype(wk.bound.dtype)
+        weights_work = wk.weights.copy()
+        n_round = max(1, int(round(round_fraction * wk.coords.shape[0])))
+        perm = wk.stream.take(n_round)
+        wk.bound.run_epoch(weights_work, local_shared, perm, wk.rng)
+        return WorkerUpdate(
+            rank=rank,
+            dshared=local_shared.astype(np.float64) - shared,
+            dmodel=(weights_work - wk.weights).astype(np.float64),
+            compute_s=wk.epoch_compute_s * round_fraction,
+            n_updates=perm.shape[0],
+            component=wk.bound.timing.component,
+        )
+
+    def delivery_stats(
+        self, rank: int, upd: WorkerUpdate
+    ) -> tuple[float, float, float]:
+        wk = self.workers[rank]
+        w64 = wk.weights.astype(np.float64)
+        dy = 0.0
+        if self.engine.formulation == "dual":
+            dy = float(upd.dmodel @ wk.y_local.astype(np.float64))
+        return (
+            float(w64 @ upd.dmodel),
+            float(upd.dmodel @ upd.dmodel),
+            dy,
+        )
+
+    def fold(self, rank: int, gamma: float, upd: WorkerUpdate) -> None:
+        wk = self.workers[rank]
+        wk.weights = (wk.weights.astype(np.float64) + gamma * upd.dmodel).astype(
+            wk.bound.dtype
+        )
+
+    def discard(self, rank: int, upd: WorkerUpdate) -> None:
+        pass  # scratch weights were never folded; nothing to roll back
+
+    def streamer(self, rank: int):
+        return self.workers[rank].streamer
+
+    def global_weights(self, problem: RidgeProblem) -> np.ndarray:
+        n_coords = problem.m if self.engine.formulation == "primal" else problem.n
+        return scatter_weights(
+            ((wk.coords, wk.weights) for wk in self.workers), n_coords
+        )
+
+    def gap_objective(self, problem: RidgeProblem) -> tuple[float, float]:
+        return gap_and_objective(
+            problem, self.global_weights(problem), self.engine.formulation
+        )
+
+    def close(self) -> None:
+        for wk in self.workers:
+            if wk.streamer is not None:
+                wk.streamer.close()
 
 
 class DistributedSCD:
@@ -233,6 +350,7 @@ class DistributedSCD:
                     f"set, got {self.shards.store.axis!r}"
                 )
         self._solver_label: str = ""
+        self._last_report: FaultReport | None = None
 
     @property
     def name(self) -> str:
@@ -241,109 +359,6 @@ class DistributedSCD:
             f"Distributed[{self._solver_label or 'SCD'} x{self.n_workers}, "
             f"{agg}, {self.formulation}]"
         )
-
-    # -- setup -------------------------------------------------------------
-    def _build_workers(
-        self, problem: RidgeProblem, tracer=None
-    ) -> list[_WorkerState]:
-        rng = np.random.default_rng(self.seed)
-        if self.formulation == "primal":
-            matrix = problem.dataset.csc
-            n_coords_total = problem.m
-        else:
-            matrix = problem.dataset.csr
-            n_coords_total = problem.n
-        groups: list[list[int]] | None = None
-        if self.shards is not None:
-            store = self.shards.store
-            if store.n_major != n_coords_total or store.shape != matrix.shape:
-                raise ValueError(
-                    f"shard set covers a {store.shape} matrix, "
-                    f"problem matrix is {matrix.shape}"
-                )
-            groups = store.partition(self.n_workers)
-            parts = [store.coords_of(g) for g in groups]
-        else:
-            parts = list(self.partitioner(n_coords_total, self.n_workers, rng))
-        total_nnz = matrix.nnz
-        workers: list[_WorkerState] = []
-        for rank, coords in enumerate(parts):
-            streamer = None
-            if groups is not None:
-                streamer = ShardStreamer(
-                    self.shards, groups[rank], tracer=tracer, worker=rank
-                )
-                local = streamer.assemble()
-            else:
-                local = matrix.take_major(coords)
-            factory = self._factory_for(rank)
-            if tracer is not None and tracer.enabled:
-                # device factories forward the tracer to their wave engines
-                factory.tracer = tracer
-            if streamer is not None:
-                # device factories skip the bulk dataset allocation: the
-                # shard cache books residency against device memory instead
-                factory.out_of_core = True
-            if self.paper_scale is not None:
-                factory.timing_workload = self.paper_scale.worker_workload(
-                    self.formulation,
-                    coords.shape[0] / n_coords_total,
-                    (local.nnz / total_nnz) if total_nnz else 0.0,
-                )
-            if self.formulation == "primal":
-                bound = factory.bind_primal(local, problem.y, problem.n, problem.lam)
-                y_local = problem.y
-            else:
-                y_local = problem.y[coords]
-                bound = factory.bind_dual(local, y_local, problem.n, problem.lam)
-            if streamer is not None:
-                device = getattr(factory, "device", None)
-                if device is not None:
-                    # residency competes with the solver's vectors on-device;
-                    # attach after bind so the reset device is the budget
-                    streamer.attach_device(device.memory)
-            if not self._solver_label:
-                self._solver_label = factory.name
-            workers.append(
-                _WorkerState(
-                    coords=coords,
-                    bound=bound,
-                    weights=np.zeros(coords.shape[0], dtype=bound.dtype),
-                    y_local=y_local.astype(bound.dtype, copy=False),
-                    rng=np.random.default_rng(self.seed + 1000 + rank),
-                    epoch_compute_s=bound.epoch_seconds(),
-                    streamer=streamer,
-                )
-            )
-        return workers
-
-    def _shared_len(self, problem: RidgeProblem) -> int:
-        return problem.n if self.formulation == "primal" else problem.m
-
-    def _comm_shared_bytes(self, problem: RidgeProblem) -> int:
-        if self.paper_scale is not None:
-            return 4 * self.paper_scale.shared_len(self.formulation)
-        return 4 * self._shared_len(problem)
-
-    def _paper_shared_len(self, problem: RidgeProblem) -> int:
-        if self.paper_scale is not None:
-            return self.paper_scale.shared_len(self.formulation)
-        return self._shared_len(problem)
-
-    # -- gap evaluation ---------------------------------------------------------
-    def _global_weights(
-        self, workers: list[_WorkerState], problem: RidgeProblem
-    ) -> np.ndarray:
-        n_coords = problem.m if self.formulation == "primal" else problem.n
-        out = np.zeros(n_coords, dtype=np.float64)
-        for wk in workers:
-            out[wk.coords] = wk.weights.astype(np.float64)
-        return out
-
-    def _gap(self, weights: np.ndarray, problem: RidgeProblem) -> tuple[float, float]:
-        if self.formulation == "primal":
-            return problem.primal_gap(weights), problem.primal_objective(weights)
-        return problem.dual_gap(weights), problem.dual_objective(weights)
 
     # -- training ------------------------------------------------------------------
     def solve(
@@ -355,275 +370,40 @@ class DistributedSCD:
         target_gap: float | None = None,
         tracer=None,
     ) -> DistributedTrainResult:
-        if n_epochs < 0:
-            raise ValueError("n_epochs must be non-negative")
-        if monitor_every < 1:
-            raise ValueError("monitor_every must be >= 1")
-        tracer = resolve_tracer(tracer)
-        self.comm.metrics = tracer.metrics if tracer.enabled else None
-        span = tracer.span(
-            "distributed.train", category="driver", solver=self.name,
-            n_workers=self.n_workers, n_epochs=n_epochs,
+        pool = _ScdWorkerPool(self)
+        runtime = ClusterRuntime(
+            backend=InProcessBackend(self.comm, pool),
+            aggregator=self.aggregator,
+            formulation=self.formulation,
+            faults=FaultPolicy(injector=self.faults, retry=self.comm.retry),
+            name=lambda: self.name,
+            pcie=self.pcie,
+            host_model=self.host_model,
         )
-        with span:
-            with tracer.span("bind", category="driver"):
-                workers = self._build_workers(problem, tracer)
-            shared_len = self._shared_len(problem)
-            shared = np.zeros(shared_len, dtype=np.float64)
-            history = ConvergenceHistory(label=self.name)
-            ledger = tracer.open_ledger()
-            gammas: list[float] = []
-            comm_bytes = self._comm_shared_bytes(problem)
-            paper_shared = self._paper_shared_len(problem)
-            t0 = time.perf_counter()
-
-            weights = self._global_weights(workers, problem)
-            with tracer.span("gap_eval", category="monitor", epoch=0):
-                gap, obj = self._gap(weights, problem)
-            history.append(
-                ConvergenceRecord(
-                    epoch=0, gap=gap, objective=obj, sim_time=0.0,
-                    wall_time=0.0, updates=0,
-                )
-            )
-            try:
-                self._run_epochs(
-                    problem, workers, shared, history, ledger, gammas,
-                    comm_bytes, paper_shared, t0, n_epochs, monitor_every,
-                    target_gap, tracer,
-                )
-            finally:
-                for wk in workers:
-                    if wk.streamer is not None:
-                        wk.streamer.close()
-
-        weights = self._global_weights(workers, problem)
-        report = self._last_report
-        if tracer.enabled and report is not None:
-            report.record_to(tracer.metrics)
+        shared_len, comm_bytes, paper_shared = shared_sizing(
+            self.formulation, problem, self.paper_scale
+        )
+        rt = runtime.run(
+            problem,
+            n_epochs,
+            shared_len=shared_len,
+            comm_bytes=comm_bytes,
+            paper_shared=paper_shared,
+            monitor_every=monitor_every,
+            target_gap=target_gap,
+            tracer=tracer,
+        )
+        self._last_report = rt.report
         return DistributedTrainResult(
             formulation=self.formulation,
-            weights=weights,
-            shared=shared,
-            history=history,
-            ledger=ledger,
-            partitions=[wk.coords for wk in workers],
+            weights=pool.global_weights(problem),
+            shared=rt.shared,
+            history=rt.history,
+            ledger=rt.ledger,
+            partitions=[wk.coords for wk in pool.workers],
             solver_name=self.name,
-            gammas=gammas,
-            fault_report=report,
-            trace=tracer if tracer.enabled else None,
-            metrics=tracer.metrics if tracer.enabled else None,
+            gammas=rt.gammas,
+            fault_report=rt.report,
+            trace=rt.tracer if rt.tracer.enabled else None,
+            metrics=rt.tracer.metrics if rt.tracer.enabled else None,
         )
-
-    def _run_epochs(
-        self,
-        problem: RidgeProblem,
-        workers: list[_WorkerState],
-        shared: np.ndarray,
-        history: ConvergenceHistory,
-        ledger,
-        gammas: list[float],
-        comm_bytes: int,
-        paper_shared: int,
-        t0: float,
-        n_epochs: int,
-        monitor_every: int,
-        target_gap: float | None,
-        tracer,
-    ) -> None:
-
-        injector = self.faults
-        report = FaultReport() if injector is not None else None
-        self._last_report = report
-        benign = WorkerEpochFaults()
-        retry = self.comm.retry
-
-        sim_time = 0.0
-        updates = 0
-        for epoch in range(1, n_epochs + 1):
-            with tracer.span("epoch", category="driver", epoch=epoch):
-                plan = (
-                    injector.plan_epoch(epoch, self.n_workers)
-                    if injector is not None
-                    else None
-                )
-                if report is not None:
-                    report.epochs += 1
-                dshared_parts: list[np.ndarray] = []
-                pending_folds: list[tuple[_WorkerState, np.ndarray]] = []
-                model_dot_dmodel = 0.0
-                dmodel_norm_sq = 0.0
-                dmodel_dot_y = 0.0
-                max_compute = 0.0
-                max_wall = 0.0  # compute + exposed shard streaming per worker
-                fault_free_compute = 0.0
-                retry_s = 0.0
-                any_computed = False
-                compute_component = "compute_host"
-
-                def deliver(wk: _WorkerState, dshared_part, dweights) -> None:
-                    """One arrived update vector joins this round's aggregation."""
-                    nonlocal model_dot_dmodel, dmodel_norm_sq, dmodel_dot_y
-                    dshared_parts.append(dshared_part)
-                    pending_folds.append((wk, dweights))
-                    w64 = wk.weights.astype(np.float64)
-                    model_dot_dmodel += float(w64 @ dweights)
-                    dmodel_norm_sq += float(dweights @ dweights)
-                    if self.formulation == "dual":
-                        dmodel_dot_y += float(
-                            dweights @ wk.y_local.astype(np.float64)
-                        )
-
-                with tracer.span(
-                    "local_compute", category="cluster", epoch=epoch
-                ):
-                    for rank, wk in enumerate(workers):
-                        wf = plan[rank] if plan is not None else benign
-                        if wk.stale_buffer is not None:
-                            # last epoch's delayed update arrives now and is
-                            # folded with this round's gamma
-                            sb_dshared, sb_dweights = wk.stale_buffer
-                            wk.stale_buffer = None
-                            deliver(wk, sb_dshared, sb_dweights)
-                        if wf.dropout:
-                            report.dropouts += 1
-                            continue
-                        local_shared = shared.astype(wk.bound.dtype)
-                        weights_work = wk.weights.copy()
-                        n_round = max(
-                            1, int(round(self.round_fraction * wk.coords.shape[0]))
-                        )
-                        perm = wk.next_coords(n_round)
-                        wk.bound.run_epoch(weights_work, local_shared, perm, wk.rng)
-                        dweights = (weights_work - wk.weights).astype(np.float64)
-                        dshared_part = local_shared.astype(np.float64) - shared
-                        compute_s = wk.epoch_compute_s * self.round_fraction
-                        fault_free_compute = max(fault_free_compute, compute_s)
-                        worker_wall = compute_s * wf.straggler_multiplier
-                        max_compute = max(max_compute, worker_wall)
-                        if wk.streamer is not None:
-                            # stream the shard group once per local epoch;
-                            # with prefetch only the excess over compute
-                            # extends this worker's wall clock
-                            worker_wall += wk.streamer.stream_epoch(
-                                ledger, compute_s=worker_wall
-                            )
-                        max_wall = max(max_wall, worker_wall)
-                        compute_component = wk.bound.timing.component
-                        updates += perm.shape[0]
-                        any_computed = True
-                        if report is not None:
-                            if wf.straggler_multiplier > 1.0:
-                                report.stragglers += 1
-                            report.transient_failures += (
-                                wf.send_failures + wf.recv_failures
-                            )
-                        retry_s += self.comm.retry_seconds(
-                            comm_bytes, wf.send_failures
-                        )
-                        retry_s += self.comm.retry_seconds(
-                            comm_bytes, wf.recv_failures
-                        )
-                        exhausted = retry.exhausted(wf.send_failures)
-                        if wf.drop_update or exhausted:
-                            # the update vector never reached the master; the
-                            # worker discards its local work to stay consistent
-                            # with the broadcast shared vector
-                            report.dropped_updates += 1
-                            if exhausted:
-                                report.retry_exhausted += 1
-                            continue
-                        if wf.stale_update:
-                            wk.stale_buffer = (dshared_part, dweights)
-                            report.stale_updates += 1
-                            continue
-                        deliver(wk, dshared_part, dweights)
-
-                n_arrived = len(pending_folds)
-                if report is not None:
-                    report.survivor_counts.append(n_arrived)
-                with tracer.span(
-                    "aggregate", category="cluster",
-                    epoch=epoch, survivors=n_arrived,
-                ):
-                    if n_arrived:
-                        dshared = self.comm.reduce_sum_partial(
-                            dshared_parts, like=shared
-                        )
-                        if self.formulation == "primal":
-                            resid_dot = float(
-                                (shared - problem.y.astype(np.float64)) @ dshared
-                            )
-                        else:
-                            resid_dot = float(shared @ dshared)
-                        stats = AggregationStats(
-                            formulation=self.formulation,
-                            n=problem.n,
-                            lam=problem.lam,
-                            n_workers=n_arrived,
-                            resid_dot_dshared=resid_dot,
-                            dshared_norm_sq=float(dshared @ dshared),
-                            model_dot_dmodel=model_dot_dmodel,
-                            dmodel_norm_sq=dmodel_norm_sq,
-                            dmodel_dot_y=dmodel_dot_y,
-                        )
-                        gamma = self.aggregator.gamma(stats)
-                        shared += gamma * dshared
-                        for wk, dw in pending_folds:
-                            wk.weights = (
-                                wk.weights.astype(np.float64) + gamma * dw
-                            ).astype(wk.bound.dtype)
-                    else:
-                        # nothing arrived (every update lost or every worker
-                        # out): the shared vector stands and training proceeds
-                        # next epoch
-                        gamma = 0.0
-                gammas.append(gamma)
-
-                # -- time accounting ----------------------------------------
-                ledger.add(compute_component, fault_free_compute)
-                epoch_time = max(max_compute, max_wall)
-                straggler_wait = max_compute - fault_free_compute
-                if straggler_wait > 0.0:
-                    ledger.add("wait_straggler", straggler_wait)
-                    tracer.count("dist.straggler_wait_s", straggler_wait)
-                if self.pcie is not None and any_computed:
-                    pcie_s = 2.0 * self.pcie.transfer_seconds(4 * paper_shared)
-                    host_s = self.host_model.epoch_seconds(paper_shared)
-                    ledger.add("comm_pcie", pcie_s)
-                    ledger.add("compute_host", host_s)
-                    epoch_time += pcie_s + host_s
-                net_s = (
-                    self.comm.reduce_seconds(comm_bytes)
-                    + self.comm.bcast_seconds(comm_bytes)
-                    + self.comm.scalars_seconds(self.aggregator.n_extra_scalars)
-                )
-                ledger.add("comm_network", net_s)
-                if retry_s > 0.0:
-                    ledger.add("comm_retry", retry_s)
-                epoch_time += net_s + retry_s
-                sim_time += epoch_time
-
-            tracer.count("dist.epochs")
-            tracer.observe("dist.gamma", gamma)
-            tracer.observe("dist.survivors", n_arrived)
-            if epoch % monitor_every == 0 or epoch == n_epochs:
-                weights = self._global_weights(workers, problem)
-                with tracer.span("gap_eval", category="monitor", epoch=epoch):
-                    gap, obj = self._gap(weights, problem)
-                extras = {"gamma": gamma}
-                if injector is not None:
-                    extras["survivors"] = float(n_arrived)
-                history.append(
-                    ConvergenceRecord(
-                        epoch=epoch,
-                        gap=gap,
-                        objective=obj,
-                        sim_time=sim_time,
-                        wall_time=time.perf_counter() - t0,
-                        updates=updates,
-                        extras=extras,
-                    )
-                )
-                if target_gap is not None and gap <= target_gap:
-                    break

@@ -3,10 +3,16 @@
 Algorithm 3 "can be thought of as a special case of the more general CoCoA
 framework applied specifically to the ridge regression problem"; CoCoA
 itself was introduced for communication-efficient distributed *SDCA* — the
-hinge-loss SVM.  This engine closes that loop: examples are partitioned
+hinge-loss SVM.  This facade closes that loop: examples are partitioned
 across K workers, each runs local SDCA epochs against its copy of the
 primal weight vector ``w`` (the SVM's shared vector), and the master
 aggregates the workers' ``delta w`` with gamma = sigma'/K.
+
+The synchronous epoch loop is :class:`~repro.cluster.runtime.ClusterRuntime`
+with a :class:`ScaledAggregator` aggregation policy; this module contributes
+the SDCA local solver (:class:`_SvmWorkerPool`), whose model state is the
+dual variables ``alpha`` — a lost update reverts them, a gamma-scaled
+aggregation rescales them to stay consistent with the global ``w``.
 
 Monitoring uses the true hinge duality gap; the per-epoch time model reuses
 the CPU cost models and the binomial-tree communicator.
@@ -14,32 +20,40 @@ the CPU cost models and the binomial-tree communicator.
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
 from ..cluster.comm import SimCommunicator
-from ..cluster.faults import (
-    FaultInjector,
-    FaultReport,
-    FaultSpec,
-    WorkerEpochFaults,
-    make_fault_injector,
-)
+from ..cluster.faults import FaultInjector, FaultReport, FaultSpec, make_fault_injector
 from ..cluster.partition import random_partition
+from ..cluster.runtime import (
+    ClusterRuntime,
+    FaultPolicy,
+    InProcessBackend,
+    RuntimeProfile,
+    WorkerUpdate,
+    plan_partitions,
+)
 from ..cpu import XEON_8C, CpuSpec, SequentialCpuTiming
-from ..metrics import ConvergenceHistory, ConvergenceRecord
 from ..objectives.svm import SvmProblem
-from ..obs import resolve_tracer
 from ..perf.link import Link
 from ..perf.timing import EpochWorkload
 from ..shards import ShardingConfig, ShardStore, ShardStreamer
 from ..solvers.base import TrainResult
+from .aggregation import ScaledAggregator
 from .scale import PaperScale
 
 __all__ = ["DistributedSvm", "SvmTrainResult"]
+
+_SVM_PROFILE = RuntimeProfile(
+    bind_span=False,
+    local_compute_span=False,
+    extras="none",
+    group_net_retry=False,
+)
 
 
 @dataclass(kw_only=True)
@@ -47,7 +61,8 @@ class SvmTrainResult(TrainResult):
     """SVM outcome: the canonical shape plus the dual variables.
 
     Iterating yields ``(w, alpha, history, ledger)`` so legacy
-    tuple-unpacking call sites keep working unchanged.
+    tuple-unpacking call sites keep working; that path is deprecated —
+    read the named :class:`~repro.solvers.base.TrainResult` fields instead.
     """
 
     alpha: np.ndarray
@@ -58,7 +73,152 @@ class SvmTrainResult(TrainResult):
         return self.weights
 
     def __iter__(self) -> Iterator:
+        warnings.warn(
+            "tuple-unpacking SvmTrainResult is deprecated; use the named "
+            "fields (.weights, .alpha, .history, .ledger) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return iter((self.weights, self.alpha, self.history, self.ledger))
+
+
+class _SvmWorkerPool:
+    """LocalSolver adapter: per-worker clipped SDCA over example partitions.
+
+    Model state is the dual vector ``alpha`` (updated in place during the
+    local round); the shared-vector delta is ``local_w - w``.  Because the
+    dual update is applied eagerly, consistency with the gamma-scaled global
+    step is restored *after* aggregation: a delivered update rescales
+    ``alpha -= (1 - gamma) * pending`` (clipped to the box), a lost one
+    reverts ``alpha -= pending``.
+    """
+
+    def __init__(self, engine: "DistributedSvm") -> None:
+        self.engine = engine
+        self.n_workers = engine.n_workers
+        self.workers: list[dict] = []
+        self.problem: SvmProblem | None = None
+        self.timing: SequentialCpuTiming | None = None
+
+    def bind(self, problem: SvmProblem, tracer) -> None:
+        eng = self.engine
+        self.problem = problem
+        csr = problem.dataset.csr
+        parts, groups = plan_partitions(
+            problem.n, eng.n_workers, eng.seed, eng.partitioner,
+            eng.shards, csr.shape,
+        )
+        y = problem.y.astype(np.float64)
+        for rank, rows in enumerate(parts):
+            streamer = None
+            if groups is not None:
+                streamer = ShardStreamer(
+                    eng.shards, groups[rank], tracer=tracer, worker=rank
+                )
+                local = streamer.assemble()
+            else:
+                local = csr.take_rows(rows)
+            self.workers.append(
+                {
+                    "rows": rows,
+                    "indptr": local.indptr,
+                    "indices": local.indices,
+                    "data": local.data.astype(np.float64),
+                    "norms": local.row_norms_sq().astype(np.float64),
+                    "y": y[rows],
+                    "alpha": np.zeros(rows.shape[0]),
+                    "rng": np.random.default_rng(eng.seed + 1000 + rank),
+                    "nnz": local.nnz,
+                    "streamer": streamer,
+                }
+            )
+        self.timing = SequentialCpuTiming(eng.spec)
+
+    def local_round(self, rank: int, shared: np.ndarray) -> WorkerUpdate:
+        eng = self.engine
+        problem = self.problem
+        inv_lam_n = 1.0 / (problem.lam * problem.n)
+        wk = self.workers[rank]
+        local_w = shared.copy()
+        indptr, indices, data = wk["indptr"], wk["indices"], wk["data"]
+        alpha, y_loc, norms = wk["alpha"], wk["y"], wk["norms"]
+        pending = np.zeros(alpha.shape[0])
+        for i in wk["rng"].permutation(alpha.shape[0]):
+            lo, hi = indptr[i], indptr[i + 1]
+            idx = indices[lo:hi]
+            v = data[lo:hi]
+            margin = float(v @ local_w[idx]) if lo != hi else 0.0
+            # inline clipped SDCA step with the *local* labels
+            if norms[i] > 0.0:
+                grad = (
+                    problem.lam * problem.n * (1.0 - y_loc[i] * margin)
+                    / norms[i]
+                )
+                new_a = min(max(alpha[i] + grad, 0.0), 1.0)
+            else:
+                new_a = 1.0
+            d = new_a - alpha[i]
+            if d != 0.0:
+                pending[i] += d
+                alpha[i] = new_a
+                if lo != hi:
+                    local_w[idx] += v * (d * y_loc[i] * inv_lam_n)
+        wl = EpochWorkload(
+            n_coords=alpha.shape[0]
+            if eng.paper_scale is None
+            else max(1, eng.paper_scale.n_examples // eng.n_workers),
+            nnz=wk["nnz"]
+            if eng.paper_scale is None
+            else max(1, eng.paper_scale.nnz // eng.n_workers),
+            shared_len=problem.m,
+        )
+        return WorkerUpdate(
+            rank=rank,
+            dshared=local_w - shared,
+            dmodel=pending,
+            compute_s=self.timing.epoch_seconds(wl),
+            n_updates=alpha.shape[0],
+        )
+
+    def delivery_stats(
+        self, rank: int, upd: WorkerUpdate
+    ) -> tuple[float, float, float]:
+        # never consulted: the scaled rule's gamma = sigma'/K' reads no stats
+        return 0.0, 0.0, 0.0
+
+    def fold(self, rank: int, gamma: float, upd: WorkerUpdate) -> None:
+        # scale the local dual variables to stay consistent with the
+        # gamma-scaled global update
+        if gamma != 1.0:
+            alpha = self.workers[rank]["alpha"]
+            alpha -= (1.0 - gamma) * upd.dmodel
+            np.clip(alpha, 0.0, 1.0, out=alpha)
+
+    def discard(self, rank: int, upd: WorkerUpdate) -> None:
+        # the master never saw this delta; revert the local dual variables
+        # so they stay consistent with w
+        self.workers[rank]["alpha"] -= upd.dmodel
+
+    def streamer(self, rank: int):
+        return self.workers[rank]["streamer"]
+
+    def alpha_global(self) -> np.ndarray:
+        out = np.zeros(self.problem.n)
+        for wk in self.workers:
+            out[wk["rows"]] = wk["alpha"]
+        return out
+
+    def gap_objective(self, problem: SvmProblem) -> tuple[float, float]:
+        alpha_global = self.alpha_global()
+        return (
+            problem.duality_gap(alpha_global),
+            problem.dual_objective(alpha_global),
+        )
+
+    def close(self) -> None:
+        for wk in self.workers:
+            if wk["streamer"] is not None:
+                wk["streamer"].close()
 
 
 class DistributedSvm:
@@ -123,247 +283,44 @@ class DistributedSvm:
         target_gap: float | None = None,
         tracer=None,
     ) -> SvmTrainResult:
-        """Train; returns a :class:`SvmTrainResult` (iterable as the legacy
-        ``(w, alpha, history, ledger)`` tuple)."""
-        if n_epochs < 0:
-            raise ValueError("n_epochs must be non-negative")
-        if monitor_every < 1:
-            raise ValueError("monitor_every must be >= 1")
-        tracer = resolve_tracer(tracer)
-        self.comm.metrics = tracer.metrics if tracer.enabled else None
-        rng = np.random.default_rng(self.seed)
-        csr = problem.dataset.csr
-        groups: list[list[int]] | None = None
-        if self.shards is not None:
-            store = self.shards.store
-            if store.n_major != problem.n or store.shape != csr.shape:
-                raise ValueError(
-                    f"shard set covers a {store.shape} matrix, "
-                    f"problem matrix is {csr.shape}"
-                )
-            groups = store.partition(self.n_workers)
-            parts = [store.coords_of(g) for g in groups]
-        else:
-            parts = list(self.partitioner(problem.n, self.n_workers, rng))
-        y = problem.y.astype(np.float64)
-        inv_lam_n = 1.0 / (problem.lam * problem.n)
-
-        workers = []
-        for rank, rows in enumerate(parts):
-            streamer = None
-            if groups is not None:
-                streamer = ShardStreamer(
-                    self.shards, groups[rank], tracer=tracer, worker=rank
-                )
-                local = streamer.assemble()
-            else:
-                local = csr.take_rows(rows)
-            workers.append(
-                {
-                    "rows": rows,
-                    "indptr": local.indptr,
-                    "indices": local.indices,
-                    "data": local.data.astype(np.float64),
-                    "norms": local.row_norms_sq().astype(np.float64),
-                    "y": y[rows],
-                    "alpha": np.zeros(rows.shape[0]),
-                    "rng": np.random.default_rng(self.seed + 1000 + rank),
-                    "nnz": local.nnz,
-                    "streamer": streamer,
-                }
-            )
-
+        """Train; returns a :class:`SvmTrainResult` (the legacy
+        ``(w, alpha, history, ledger)`` tuple-unpack is deprecated)."""
+        pool = _SvmWorkerPool(self)
+        runtime = ClusterRuntime(
+            backend=InProcessBackend(self.comm, pool),
+            aggregator=ScaledAggregator(self.sigma_prime),
+            formulation="dual",
+            faults=FaultPolicy(
+                injector=self.faults,
+                stale_buffering=False,  # SDCA keeps no stale buffer: lost
+                count_retry_exhausted=False,
+                retry=self.comm.retry,
+            ),
+            profile=_SVM_PROFILE,
+            name=lambda: self.name,
+        )
         shared_bytes = 4 * (
             self.paper_scale.n_features if self.paper_scale else problem.m
         )
-        timing = SequentialCpuTiming(self.spec)
-        w = np.zeros(problem.m)
-        history = ConvergenceHistory(label=self.name)
-        ledger = tracer.open_ledger()
-        t0 = time.perf_counter()
-
-        def gap_of() -> tuple[float, float]:
-            alpha_global = np.zeros(problem.n)
-            for wk in workers:
-                alpha_global[wk["rows"]] = wk["alpha"]
-            return (
-                problem.duality_gap(alpha_global),
-                problem.dual_objective(alpha_global),
-            )
-
-        root_span = tracer.span(
-            "distributed.train", category="driver", solver=self.name,
-            n_workers=self.n_workers, n_epochs=n_epochs,
+        rt = runtime.run(
+            problem,
+            n_epochs,
+            shared_len=problem.m,
+            comm_bytes=shared_bytes,
+            monitor_every=monitor_every,
+            target_gap=target_gap,
+            tracer=tracer,
         )
-        root_span.__enter__()
-        with tracer.span("gap_eval", category="monitor", epoch=0):
-            gap, obj = gap_of()
-        history.append(
-            ConvergenceRecord(
-                epoch=0, gap=gap, objective=obj, sim_time=0.0, wall_time=0.0, updates=0
-            )
-        )
-        injector = self.faults
-        report = FaultReport() if injector is not None else None
-        self.fault_report = report
-        benign = WorkerEpochFaults()
-
-        sim = 0.0
-        updates = 0
-        try:
-            for epoch in range(1, n_epochs + 1):
-                epoch_span = tracer.span("epoch", category="driver", epoch=epoch)
-                epoch_span.__enter__()
-                plan = (
-                    injector.plan_epoch(epoch, self.n_workers)
-                    if injector is not None
-                    else None
-                )
-                if report is not None:
-                    report.epochs += 1
-                arrived: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-                max_compute = 0.0
-                max_wall = 0.0  # compute + exposed shard streaming per worker
-                fault_free_compute = 0.0
-                retry_s = 0.0
-                for rank, wk in enumerate(workers):
-                    wf = plan[rank] if plan is not None else benign
-                    if wf.dropout:
-                        report.dropouts += 1
-                        continue
-                    local_w = w.copy()
-                    indptr, indices, data = wk["indptr"], wk["indices"], wk["data"]
-                    alpha, y_loc, norms = wk["alpha"], wk["y"], wk["norms"]
-                    pending = np.zeros(alpha.shape[0])
-                    for i in wk["rng"].permutation(alpha.shape[0]):
-                        lo, hi = indptr[i], indptr[i + 1]
-                        idx = indices[lo:hi]
-                        v = data[lo:hi]
-                        margin = float(v @ local_w[idx]) if lo != hi else 0.0
-                        # inline clipped SDCA step with the *local* labels
-                        if norms[i] > 0.0:
-                            grad = (
-                                problem.lam * problem.n * (1.0 - y_loc[i] * margin)
-                                / norms[i]
-                            )
-                            new_a = min(max(alpha[i] + grad, 0.0), 1.0)
-                        else:
-                            new_a = 1.0
-                        d = new_a - alpha[i]
-                        if d != 0.0:
-                            pending[i] += d
-                            alpha[i] = new_a
-                            if lo != hi:
-                                local_w[idx] += v * (d * y_loc[i] * inv_lam_n)
-                    wl = EpochWorkload(
-                        n_coords=alpha.shape[0]
-                        if self.paper_scale is None
-                        else max(1, self.paper_scale.n_examples // self.n_workers),
-                        nnz=wk["nnz"]
-                        if self.paper_scale is None
-                        else max(1, self.paper_scale.nnz // self.n_workers),
-                        shared_len=problem.m,
-                    )
-                    compute_s = timing.epoch_seconds(wl)
-                    fault_free_compute = max(fault_free_compute, compute_s)
-                    worker_wall = compute_s * wf.straggler_multiplier
-                    max_compute = max(max_compute, worker_wall)
-                    if wk["streamer"] is not None:
-                        # stream the shard group once per local epoch; with
-                        # prefetch only the excess over compute extends this
-                        # worker's wall clock
-                        worker_wall += wk["streamer"].stream_epoch(
-                            ledger, compute_s=worker_wall
-                        )
-                    max_wall = max(max_wall, worker_wall)
-                    updates += alpha.shape[0]
-                    if report is not None:
-                        if wf.straggler_multiplier > 1.0:
-                            report.stragglers += 1
-                        report.transient_failures += (
-                            wf.send_failures + wf.recv_failures
-                        )
-                    retry_s += self.comm.retry_seconds(shared_bytes, wf.send_failures)
-                    retry_s += self.comm.retry_seconds(shared_bytes, wf.recv_failures)
-                    lost = (
-                        wf.drop_update
-                        or wf.stale_update  # SDCA keeps no stale buffer: lost
-                        or self.comm.retry.exhausted(wf.send_failures)
-                    )
-                    if lost:
-                        report.dropped_updates += 1
-                        # the master never saw this delta; revert the local dual
-                        # variables so they stay consistent with w
-                        alpha -= pending
-                        continue
-                    arrived.append((local_w - w, pending, alpha))
-
-                n_arrived = len(arrived)
-                if report is not None:
-                    report.survivor_counts.append(n_arrived)
-                with tracer.span(
-                    "aggregate", category="cluster", epoch=epoch, survivors=n_arrived
-                ):
-                    # CoCoA's gamma = sigma'/K, rescaled over the K' survivors
-                    gamma = self.sigma_prime / n_arrived if n_arrived else 0.0
-                    dw_total = np.zeros(problem.m)
-                    for dw, pending, alpha_ref in arrived:
-                        dw_total += dw
-                        # scale the local dual variables to stay consistent with
-                        # the gamma-scaled global update
-                        if gamma != 1.0:
-                            alpha_ref -= (1.0 - gamma) * pending
-                            np.clip(alpha_ref, 0.0, 1.0, out=alpha_ref)
-                    w += gamma * dw_total
-                per_epoch_net = self.comm.allreduce_seconds(shared_bytes)
-                ledger.add("compute_host", fault_free_compute)
-                straggler_wait = max_compute - fault_free_compute
-                if straggler_wait > 0.0:
-                    ledger.add("wait_straggler", straggler_wait)
-                    tracer.count("dist.straggler_wait_s", straggler_wait)
-                ledger.add("comm_network", per_epoch_net)
-                if retry_s > 0.0:
-                    ledger.add("comm_retry", retry_s)
-                sim += max(max_compute, max_wall) + per_epoch_net + retry_s
-                epoch_span.__exit__(None, None, None)
-                tracer.count("dist.epochs")
-                tracer.observe("dist.gamma", gamma)
-                tracer.observe("dist.survivors", n_arrived)
-                if epoch % monitor_every == 0 or epoch == n_epochs:
-                    with tracer.span("gap_eval", category="monitor", epoch=epoch):
-                        gap, obj = gap_of()
-                    history.append(
-                        ConvergenceRecord(
-                            epoch=epoch,
-                            gap=gap,
-                            objective=obj,
-                            sim_time=sim,
-                            wall_time=time.perf_counter() - t0,
-                            updates=updates,
-                        )
-                    )
-                    if target_gap is not None and gap <= target_gap:
-                        break
-        finally:
-            for wk in workers:
-                if wk["streamer"] is not None:
-                    wk["streamer"].close()
-
-        root_span.__exit__(None, None, None)
-        alpha_global = np.zeros(problem.n)
-        for wk in workers:
-            alpha_global[wk["rows"]] = wk["alpha"]
-        if tracer.enabled and report is not None:
-            report.record_to(tracer.metrics)
+        self.fault_report = rt.report
         return SvmTrainResult(
             formulation="dual",
-            weights=w,
-            shared=w,
-            history=history,
+            weights=rt.shared,
+            shared=rt.shared,
+            history=rt.history,
             solver_name=self.name,
-            ledger=ledger,
-            alpha=alpha_global,
-            fault_report=report,
-            trace=tracer if tracer.enabled else None,
-            metrics=tracer.metrics if tracer.enabled else None,
+            ledger=rt.ledger,
+            alpha=pool.alpha_global(),
+            fault_report=rt.report,
+            trace=rt.tracer if rt.tracer.enabled else None,
+            metrics=rt.tracer.metrics if rt.tracer.enabled else None,
         )

@@ -21,11 +21,28 @@ from ..data import Dataset
 
 __all__ = [
     "RidgeProblem",
+    "gap_and_objective",
     "primal_coordinate_delta",
     "dual_coordinate_delta",
     "solve_exact",
     "ExactSolution",
 ]
+
+
+def gap_and_objective(
+    problem: "RidgeProblem", weights: np.ndarray, formulation: str
+) -> tuple[float, float]:
+    """Offline ``(duality gap, objective)`` of an iterate under a formulation.
+
+    The single shared monitoring helper for every ridge solver and engine:
+    a primal iterate is scored with ``(G_P, P)``, a dual iterate with
+    ``(G_D, D)``.  Deliberately recomputes the shared vector from the
+    weights — maintained shared vectors can drift (wild writes) and the
+    paper evaluates the model itself.
+    """
+    if formulation == "primal":
+        return problem.primal_gap(weights), problem.primal_objective(weights)
+    return problem.dual_gap(weights), problem.dual_objective(weights)
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ from typing import Any, Callable, Protocol
 import numpy as np
 
 from ..metrics import ConvergenceHistory, ConvergenceRecord
-from ..objectives.ridge import RidgeProblem
+from ..objectives.ridge import RidgeProblem, gap_and_objective
 from ..obs import resolve_tracer
 from ..perf.ledger import TimeLedger
 from ..perf.timing import EpochWorkload, LocalTiming
@@ -166,9 +166,7 @@ class ScdSolver:
         themselves.
         """
         w64 = weights.astype(np.float64)
-        if self.formulation == "primal":
-            return problem.primal_gap(w64), problem.primal_objective(w64)
-        return problem.dual_gap(w64), problem.dual_objective(w64)
+        return gap_and_objective(problem, w64, self.formulation)
 
     def solve(
         self,

@@ -124,7 +124,8 @@ class TestTrainDispatch:
         res = train(svm_sparse, "distributed-svm", n_epochs=2, n_workers=2)
         assert isinstance(res, SvmTrainResult)
         assert isinstance(res, TrainResult)
-        w, alpha, history, ledger = res
+        with pytest.warns(DeprecationWarning, match="tuple-unpacking"):
+            w, alpha, history, ledger = res
         np.testing.assert_array_equal(w, res.weights)
         np.testing.assert_array_equal(alpha, res.alpha)
         assert history is res.history and ledger is res.ledger

@@ -73,55 +73,58 @@ def svm_problem():
 
 class TestDistributedSvm:
     def test_k1_matches_single_node_order(self, svm_problem):
-        w, a, h, _ = DistributedSvm(n_workers=1, seed=0).solve(svm_problem, 10)
+        res = DistributedSvm(n_workers=1, seed=0).solve(svm_problem, 10)
+        h = res.history
         _, _, h_single = SvmSdca(seed=0).solve(svm_problem, 10)
         assert h.final_gap() < 1e-4
         assert h.final_gap() < h_single.final_gap() * 1e3 + 1e-9
 
     @pytest.mark.parametrize("k", [2, 4])
     def test_converges(self, svm_problem, k):
-        w, a, h, _ = DistributedSvm(n_workers=k, seed=3).solve(svm_problem, 12 * k)
-        assert h.final_gap() < 1e-4
+        res = DistributedSvm(n_workers=k, seed=3).solve(svm_problem, 12 * k)
+        assert res.history.final_gap() < 1e-4
 
     def test_primal_dual_consistency(self, svm_problem):
         """w must remain the SDCA image of the aggregated alphas."""
-        w, alpha, _, _ = DistributedSvm(n_workers=4, seed=3).solve(svm_problem, 8)
-        assert np.allclose(w, svm_problem.weights_from_alpha(alpha), atol=1e-10)
+        res = DistributedSvm(n_workers=4, seed=3).solve(svm_problem, 8)
+        assert np.allclose(
+            res.weights, svm_problem.weights_from_alpha(res.alpha), atol=1e-10
+        )
 
     def test_alpha_in_box(self, svm_problem):
-        _, alpha, _, _ = DistributedSvm(n_workers=4, seed=3).solve(svm_problem, 8)
+        alpha = DistributedSvm(n_workers=4, seed=3).solve(svm_problem, 8).alpha
         assert np.all(alpha >= -1e-12) and np.all(alpha <= 1 + 1e-12)
 
     def test_slowdown_with_k(self, svm_problem):
         gaps = {}
         for k in (1, 4):
-            _, _, h, _ = DistributedSvm(n_workers=k, seed=3).solve(svm_problem, 6)
-            gaps[k] = h.final_gap()
+            res = DistributedSvm(n_workers=k, seed=3).solve(svm_problem, 6)
+            gaps[k] = res.history.final_gap()
         assert gaps[1] <= gaps[4]
 
     def test_sigma_prime_accelerates(self, svm_problem):
-        _, _, h1, _ = DistributedSvm(n_workers=4, sigma_prime=1.0, seed=3).solve(
+        h1 = DistributedSvm(n_workers=4, sigma_prime=1.0, seed=3).solve(
             svm_problem, 8
-        )
-        _, _, h2, _ = DistributedSvm(n_workers=4, sigma_prime=2.0, seed=3).solve(
+        ).history
+        h2 = DistributedSvm(n_workers=4, sigma_prime=2.0, seed=3).solve(
             svm_problem, 8
-        )
+        ).history
         assert h2.final_gap() < h1.final_gap()
 
     def test_ledger_populated(self, svm_problem):
         from repro.core.scale import CRITEO_PAPER
 
-        _, _, _, ledger = DistributedSvm(
+        ledger = DistributedSvm(
             n_workers=4, seed=3, paper_scale=CRITEO_PAPER
-        ).solve(svm_problem, 2)
+        ).solve(svm_problem, 2).ledger
         assert ledger.get("compute_host") > 0
         assert ledger.get("comm_network") > 0
 
     def test_early_stop(self, svm_problem):
-        _, _, h, _ = DistributedSvm(n_workers=2, seed=3).solve(
+        res = DistributedSvm(n_workers=2, seed=3).solve(
             svm_problem, 200, monitor_every=1, target_gap=1e-3
         )
-        assert h.records[-1].epoch < 200
+        assert res.history.records[-1].epoch < 200
 
     def test_validation(self, svm_problem):
         with pytest.raises(ValueError, match="n_workers"):

@@ -1,0 +1,39 @@
+"""Capture the golden fingerprints for the runtime bit-identity suite.
+
+Runs every scenario in ``tests/runtime_scenarios.py`` against the engines as
+currently checked out and writes ``tests/data/runtime_goldens.json``.  Run
+this ONLY from a tree whose trajectories are known-good (it was run once
+from the pre-refactor engines to freeze the contract that
+``repro.cluster.runtime`` must reproduce bitwise).
+
+    PYTHONPATH=src python tools/capture_runtime_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from tests.runtime_scenarios import SCENARIOS, run_scenario  # noqa: E402
+
+
+def main() -> None:
+    out_path = REPO / "tests" / "data" / "runtime_goldens.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    goldens: dict = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in SCENARIOS:
+            goldens[name] = run_scenario(name, Path(tmp))
+            print(f"captured {name}: weights {goldens[name]['weights'][:12]}…")
+    out_path.write_text(json.dumps(goldens, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(goldens)} scenarios to {out_path}")
+
+
+if __name__ == "__main__":
+    main()
