@@ -51,6 +51,14 @@ from .obs import (
     use_tracer,
 )
 from .perf.ledger import TimeLedger
+from .serve import (
+    ModelServer,
+    ServeConfig,
+    SnapshotHub,
+    WeightSnapshot,
+    snapshot_from_result,
+    train_to_serve,
+)
 from .objectives import (
     ElasticNetProblem,
     LogisticProblem,
@@ -99,6 +107,13 @@ __all__ = [
     "ShardCache",
     "ShardingConfig",
     "ShardStreamer",
+    # online serving
+    "ModelServer",
+    "ServeConfig",
+    "SnapshotHub",
+    "WeightSnapshot",
+    "snapshot_from_result",
+    "train_to_serve",
     # metrics
     "ConvergenceHistory",
     "ConvergenceRecord",

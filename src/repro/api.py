@@ -119,6 +119,7 @@ def train(
     *,
     config: SolverConfig | None = None,
     tracer=None,
+    on_epoch=None,
     **overrides,
 ) -> TrainResult:
     """Train ``problem`` with the named ``solver``; returns a ``TrainResult``.
@@ -139,6 +140,11 @@ def train(
     tracer:
         Optional :class:`~repro.obs.Tracer`; defaults to the ambient tracer
         installed by :func:`~repro.obs.use_tracer`.
+    on_epoch:
+        Optional callback invoked with an
+        :class:`~repro.solvers.base.EpochEvent` at every monitored epoch —
+        the train-to-serve publish hook (see :mod:`repro.serve`).  Purely
+        observational: installing it never changes the training trajectory.
     """
     cfg = (config or SolverConfig()).replace(**overrides) if overrides else (
         config or SolverConfig()
@@ -155,6 +161,7 @@ def train(
         monitor_every=cfg.monitor_every,
         target_gap=cfg.target_gap,
         tracer=tracer,
+        on_epoch=on_epoch,
     )
     if kind == "seq":
         engine = SequentialSCD(cfg.formulation, seed=cfg.seed)

@@ -12,7 +12,8 @@ Usage::
     python -m repro shards pack out/          # pack a dataset into a shard set
     python -m repro shards info out/          # inspect a packed shard set
     python -m repro bench                     # pinned epoch micro-benchmarks
-    python -m repro bench --baseline BENCH_PR4.json   # + regression gate
+    python -m repro bench --baseline BENCH_PR6.json   # + regression gate
+    python -m repro serve                     # train-to-serve hot-swap demo
 """
 
 from __future__ import annotations
@@ -179,7 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         metavar="PATH",
-        help="write the repro.bench/v1 payload to PATH (e.g. BENCH_PR4.json)",
+        help="write the repro.bench/v1 payload to PATH (e.g. BENCH_PR6.json)",
     )
     bench.add_argument(
         "--baseline",
@@ -194,7 +195,118 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="allowed normalized-throughput drop vs the baseline (default 0.25)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the train-to-serve demo: train, hot-swap published weight "
+        "versions under seeded traffic, audit responses against the oracle",
+    )
+    serve.add_argument(
+        "--solver",
+        default="seq",
+        help="training engine (any repro.train solver alias; default: seq)",
+    )
+    serve.add_argument(
+        "--epochs", type=int, default=12, help="training epochs (default 12)"
+    )
+    serve.add_argument(
+        "--publish-every",
+        type=int,
+        default=3,
+        help="publish a weight version every N epochs (default 3)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=2000.0,
+        help="mean request arrival rate in Hz (default 2000)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=1.0,
+        help="modelled traffic window in seconds (default 1.0)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="master seed (default 0)"
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the serving run's Chrome-trace JSON to PATH",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON (schema repro.serve/v1) instead of text",
+    )
     return parser
+
+
+def _cmd_serve(args) -> int:
+    from .obs import chrome_trace, validate_chrome_trace, write_chrome_trace
+    from .serve import train_to_serve
+
+    report = train_to_serve(
+        solver=args.solver,
+        n_epochs=args.epochs,
+        publish_every=args.publish_every,
+        rate_hz=args.rate,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    validate_chrome_trace(chrome_trace(report.tracer))
+    if args.trace_out:
+        write_chrome_trace(report.tracer, args.trace_out)
+    summary = {
+        "schema": "repro.serve/v1",
+        "version": __version__,
+        "solver": report.solver,
+        "requests": report.n_requests,
+        "served": report.n_served,
+        "shed": report.n_shed,
+        "versions_published": report.versions_published,
+        "versions_served": report.versions_served,
+        "staleness_at_swaps": [
+            {"version": v, "before": b, "after": a}
+            for v, b, a in report.staleness_at_swaps
+        ],
+        "oracle_mismatches": len(report.oracle_mismatches),
+        "p50_latency_s": report.p50_latency_s,
+        "p99_latency_s": report.p99_latency_s,
+        "ok": report.ok,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"train-to-serve demo  ({report.solver})")
+        print(
+            f"  requests: {report.n_requests}  served: {report.n_served}  "
+            f"shed: {report.n_shed}"
+        )
+        print(
+            f"  versions served: {report.versions_served} "
+            f"(published {report.versions_published})"
+        )
+        for v, before, after in report.staleness_at_swaps:
+            print(f"  swap -> v{v}: staleness {before} -> {after} epochs")
+        print(
+            f"  latency p50 {report.p50_latency_s * 1e3:.3f}ms  "
+            f"p99 {report.p99_latency_s * 1e3:.3f}ms"
+        )
+        print(
+            "  oracle audit: "
+            + (
+                "all responses bit-identical"
+                if not report.oracle_mismatches
+                else f"{len(report.oracle_mismatches)} MISMATCHES"
+            )
+        )
+        if args.trace_out:
+            print(f"  trace:   {args.trace_out}")
+        print("  OK" if report.ok else "  FAILED")
+    return 0 if report.ok else 1
 
 
 def _cmd_bench(args) -> int:
@@ -314,6 +426,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_shards(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "run":
             scale = SCALES[args.scale] if args.scale else None
             fig = ALL_EXPERIMENTS[args.experiment](scale)

@@ -252,6 +252,7 @@ class MpDistributedSCD:
         monitor_every: int = 1,
         target_gap: float | None = None,
         tracer=None,
+        on_epoch=None,
     ) -> DistributedTrainResult:
         parts = self._partitions(problem)
         payloads = self._payloads(problem, parts)
@@ -286,6 +287,7 @@ class MpDistributedSCD:
             monitor_every=monitor_every,
             target_gap=target_gap,
             tracer=tracer,
+            on_epoch=on_epoch,
         )
         return DistributedTrainResult(
             formulation=self.formulation,

@@ -51,6 +51,7 @@ from ..core.aggregation import AggregationStats, Aggregator
 from ..metrics import ConvergenceHistory, ConvergenceRecord
 from ..obs import resolve_tracer
 from ..shards import ShardingConfig
+from ..solvers.base import EpochEvent
 from .comm import SimCommunicator
 from .faults import (
     DEFAULT_RETRY,
@@ -284,6 +285,14 @@ class LocalSolver(Protocol):
     def gap_objective(self, problem) -> tuple[float, float]:
         """Offline (gap, objective) of the assembled global model."""
 
+    def global_model(self, problem, shared: np.ndarray) -> np.ndarray:
+        """The assembled global model vector in the engine's formulation.
+
+        Consulted only when an ``on_epoch`` publish callback is installed —
+        never on the plain training path, so facades without serving pay
+        nothing.
+        """
+
     def close(self) -> None:
         """Release out-of-core resources."""
 
@@ -315,6 +324,8 @@ class CommBackend(Protocol):
     def network_seconds(self, nbytes: int, n_scalars: int) -> float: ...
 
     def gap_objective(self, problem) -> tuple[float, float]: ...
+
+    def global_model(self, problem, shared: np.ndarray) -> np.ndarray: ...
 
     def close(self) -> None: ...
 
@@ -422,6 +433,9 @@ class InProcessBackend:
 
     def gap_objective(self, problem) -> tuple[float, float]:
         return self.solver.gap_objective(problem)
+
+    def global_model(self, problem, shared: np.ndarray) -> np.ndarray:
+        return self.solver.global_model(problem, shared)
 
     def close(self) -> None:
         self.solver.close()
@@ -551,6 +565,9 @@ class PipeProcessBackend:
     def gap_objective(self, problem) -> tuple[float, float]:
         return self.gap_fn(self.global_weights())
 
+    def global_model(self, problem, shared: np.ndarray) -> np.ndarray:
+        return self.global_weights()
+
     def close(self) -> None:
         for conn in self.pipes:
             try:
@@ -647,6 +664,7 @@ class ClusterRuntime:
         monitor_every: int = 1,
         target_gap: float | None = None,
         tracer=None,
+        on_epoch=None,
     ) -> RuntimeResult:
         if n_epochs < 0:
             raise ValueError("n_epochs must be non-negative")
@@ -817,6 +835,24 @@ class ClusterRuntime:
                                 **record_kwargs,
                             )
                         )
+                        if on_epoch is not None:
+                            # assembled only when a publisher listens — the
+                            # plain training path stays byte-for-byte what the
+                            # runtime goldens pin
+                            on_epoch(
+                                EpochEvent(
+                                    epoch=epoch,
+                                    weights=backend.global_model(problem, shared),
+                                    formulation=self.formulation,
+                                    sim_time=(
+                                        sim_time
+                                        if backend.models_time
+                                        else time.perf_counter() - t0
+                                    ),
+                                    gap=gap,
+                                    solver=self._name(),
+                                )
+                            )
                         if target_gap is not None and gap <= target_gap:
                             break
             finally:

@@ -224,6 +224,9 @@ class _ScdWorkerPool:
             ((wk.coords, wk.weights) for wk in self.workers), n_coords
         )
 
+    def global_model(self, problem: RidgeProblem, shared: np.ndarray) -> np.ndarray:
+        return self.global_weights(problem)
+
     def gap_objective(self, problem: RidgeProblem) -> tuple[float, float]:
         return gap_and_objective(
             problem, self.global_weights(problem), self.engine.formulation
@@ -369,6 +372,7 @@ class DistributedSCD:
         monitor_every: int = 1,
         target_gap: float | None = None,
         tracer=None,
+        on_epoch=None,
     ) -> DistributedTrainResult:
         pool = _ScdWorkerPool(self)
         runtime = ClusterRuntime(
@@ -392,6 +396,7 @@ class DistributedSCD:
             monitor_every=monitor_every,
             target_gap=target_gap,
             tracer=tracer,
+            on_epoch=on_epoch,
         )
         self._last_report = rt.report
         return DistributedTrainResult(

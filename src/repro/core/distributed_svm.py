@@ -48,6 +48,17 @@ from .scale import PaperScale
 
 __all__ = ["DistributedSvm", "SvmTrainResult"]
 
+#: once-per-process latch for the tuple-unpacking deprecation below — the
+#: warning must fire exactly once, not once per result object, so a training
+#: sweep over many runs does not flood stderr
+_TUPLE_UNPACK_WARNED = False
+
+
+def _reset_tuple_unpack_warning() -> None:
+    """Re-arm the once-per-process deprecation latch (test helper)."""
+    global _TUPLE_UNPACK_WARNED
+    _TUPLE_UNPACK_WARNED = False
+
 _SVM_PROFILE = RuntimeProfile(
     bind_span=False,
     local_compute_span=False,
@@ -73,12 +84,15 @@ class SvmTrainResult(TrainResult):
         return self.weights
 
     def __iter__(self) -> Iterator:
-        warnings.warn(
-            "tuple-unpacking SvmTrainResult is deprecated; use the named "
-            "fields (.weights, .alpha, .history, .ledger) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        global _TUPLE_UNPACK_WARNED
+        if not _TUPLE_UNPACK_WARNED:
+            _TUPLE_UNPACK_WARNED = True
+            warnings.warn(
+                "tuple-unpacking SvmTrainResult is deprecated; use the named "
+                "fields (.weights, .alpha, .history, .ledger) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return iter((self.weights, self.alpha, self.history, self.ledger))
 
 
@@ -215,6 +229,10 @@ class _SvmWorkerPool:
             problem.dual_objective(alpha_global),
         )
 
+    def global_model(self, problem: SvmProblem, shared: np.ndarray) -> np.ndarray:
+        # the SVM's shared vector *is* the primal model w
+        return shared.copy()
+
     def close(self) -> None:
         for wk in self.workers:
             if wk["streamer"] is not None:
@@ -282,6 +300,7 @@ class DistributedSvm:
         monitor_every: int = 1,
         target_gap: float | None = None,
         tracer=None,
+        on_epoch=None,
     ) -> SvmTrainResult:
         """Train; returns a :class:`SvmTrainResult` (the legacy
         ``(w, alpha, history, ledger)`` tuple-unpack is deprecated)."""
@@ -310,6 +329,7 @@ class DistributedSvm:
             monitor_every=monitor_every,
             target_gap=target_gap,
             tracer=tracer,
+            on_epoch=on_epoch,
         )
         self.fault_report = rt.report
         return SvmTrainResult(

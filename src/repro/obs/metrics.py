@@ -34,6 +34,20 @@ name                       meaning
 ``shards.cache.bytes``     (gauge) bytes currently resident in the cache
 ``shards.cache.bytes_read`` bytes loaded from disk into the cache
 ``shards.read_retries``    shard reads retried after injected I/O faults
+``serve.requests``         prediction requests arriving at a server
+``serve.responses``        scored responses returned
+``serve.batches``          micro-batches dispatched to the scorer
+``serve.rows_scored``      feature rows scored across all batches
+``serve.shed``             requests dropped by admission control
+``serve.swaps``            weight hot-swaps applied by a server
+``serve.swap_dropped``     swap notifications lost before the server
+``serve.slow_batches``     batches inflated by an injected slow scorer
+``serve.queue_depth``      (gauge + histogram) admission-queue depth
+``serve.weight_version``   (gauge) version currently being served
+``serve.latency_s``        (histogram) arrival-to-completion latency
+``serve.wait_s``           (histogram) time queued before dispatch
+``serve.staleness_epochs`` (gauge + histogram) epochs the trainer was
+                           ahead of the weights that scored a batch
 ========================== ============================================
 """
 
@@ -80,6 +94,28 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (p50/p99 for dashboards).
+
+        Returns the upper bound of the bucket containing the ``q``-quantile
+        observation, clamped to the observed ``min``/``max`` — deterministic
+        given the same observations, which lets tests pin p50/p99 exactly.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= rank and n:
+                bound = (
+                    self.buckets[i] if i < len(self.buckets) else self.max
+                )
+                return min(max(bound, self.min), self.max)
+        return self.max
 
     def as_dict(self) -> dict:
         return {

@@ -11,9 +11,12 @@ suite of epoch micro-benchmarks over a fixed synthetic problem:
 * ``tpa_wave_planned`` — the same engine through the compiled/pooled
   :class:`~repro.gpu.plan.WavePlan` runtime;
 * ``distributed`` — one full synchronous distributed epoch (K TPA workers,
-  averaging aggregation, simulated fabric).
+  averaging aggregation, simulated fabric);
+* ``serving`` — a full seeded traffic replay through the
+  :class:`~repro.serve.server.ModelServer` (micro-batching + admission +
+  scoring), gating scored-rows-per-second of the online serving layer.
 
-``run_suite`` writes a ``repro.bench/v1`` payload (see ``BENCH_PR4.json`` at
+``run_suite`` writes a ``repro.bench/v1`` payload (see ``BENCH_PR6.json`` at
 the repo root for the committed baseline) with the **median** wall-clock
 epoch time per case.  Machines differ, so the regression gate compares
 *normalized relative throughput* — each case's epoch rate divided by the
@@ -51,7 +54,13 @@ __all__ = [
 BENCH_SCHEMA = "repro.bench/v1"
 
 #: cases whose normalized throughput is gated (sequential is the normalizer)
-_GATED_CASES = ("chunked", "tpa_wave_seed", "tpa_wave_planned", "distributed")
+_GATED_CASES = (
+    "chunked",
+    "tpa_wave_seed",
+    "tpa_wave_planned",
+    "distributed",
+    "serving",
+)
 
 
 @dataclass(frozen=True)
@@ -192,6 +201,40 @@ def _case_distributed(problem, profile: BenchProfile) -> list[float]:
     return _time_epochs(run_one, profile)
 
 
+def _case_serving(problem, profile: BenchProfile) -> tuple[list[float], int]:
+    """Time a fixed seeded traffic replay; also returns the rows scored.
+
+    One rep = admit every request through the micro-batching admission queue
+    of a fresh :class:`~repro.serve.server.ModelServer` and drain it.  The
+    request set is generated once (same seed → same arrivals across reps and
+    machines), so wall-clock per rep is a clean scored-rows/sec measure.
+    """
+    from ..serve.server import ModelServer, ServeConfig
+    from ..serve.snapshot import WeightSnapshot
+    from ..serve.traffic import RequestSource, poisson_arrivals
+
+    rate_hz = 20_000.0
+    arrivals = poisson_arrivals(
+        rate_hz, profile.n_examples / rate_hz, seed=profile.seed
+    )
+    source = RequestSource(problem.dataset.csr, seed=profile.seed)
+    requests = source.requests(arrivals)
+    n_rows = sum(r.n_rows for r in requests)
+    snapshot = WeightSnapshot(
+        version=1,
+        weights=np.random.default_rng(profile.seed).standard_normal(problem.m),
+    )
+    config = ServeConfig()
+
+    def run_one():
+        server = ModelServer(snapshot, config=config)
+        for req in requests:
+            server.submit(req)
+        server.drain()
+
+    return _time_epochs(run_one, profile), n_rows
+
+
 def run_suite(profile: str | BenchProfile = "default") -> dict:
     """Run every case of ``profile`` and return the ``repro.bench/v1`` payload."""
     from .. import __version__
@@ -217,6 +260,14 @@ def run_suite(profile: str | BenchProfile = "default") -> dict:
     record("tpa_wave_seed", _case_tpa(problem, prof, planned=False))
     record("tpa_wave_planned", _case_tpa(problem, prof, planned=True))
     record("distributed", _case_distributed(problem, prof))
+    serving_times, serving_rows = _case_serving(problem, prof)
+    record("serving", serving_times)
+    cases["serving"]["rows_scored"] = serving_rows
+    cases["serving"]["rows_per_s"] = (
+        serving_rows / cases["serving"]["median_s"]
+        if cases["serving"]["median_s"] > 0
+        else 0.0
+    )
 
     seq = cases["sequential"]["median_s"]
     normalized = {

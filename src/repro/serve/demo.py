@@ -1,0 +1,205 @@
+"""The train-to-serve demo: one seeded run of the whole serving story.
+
+:func:`train_to_serve` is the acceptance harness behind ``repro serve``:
+
+1. train a solver on a synthetic sparse problem, collecting an
+   :class:`~repro.solvers.base.EpochEvent` at every monitored epoch via the
+   ``on_epoch`` publish hook — every ``publish_every``-th event becomes a
+   versioned :class:`~repro.serve.snapshot.WeightSnapshot`;
+2. lay the training timeline onto the serving clock (epoch ``e`` of ``E``
+   lands at ``e/E`` of the traffic window), so swaps arrive while requests
+   are in flight and the trainer frontier advances between swaps;
+3. generate seeded open-loop traffic, replay arrivals + swaps + epoch notes
+   through a :class:`~repro.serve.server.ModelServer`, and drain;
+4. audit: every served response must be **bitwise** equal to the offline
+   ``X @ w`` oracle for the weight version stamped on it, no request may be
+   dropped because of a swap, and staleness must fall at every swap.
+
+Everything is derived from one seed; the report is reproducible to the byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..api import SolverConfig, train
+from ..data import make_sparse_regression
+from ..objectives.ridge import RidgeProblem
+from ..obs import Tracer
+from .server import ModelServer, PredictResponse, ServeConfig
+from .snapshot import SnapshotHub, WeightSnapshot, serve_weights
+from .traffic import EpochNote, RequestSource, SwapEvent, poisson_arrivals, replay
+
+__all__ = ["ServeDemoReport", "train_to_serve"]
+
+
+@dataclass
+class ServeDemoReport:
+    """Everything the demo proved, in one auditable bundle."""
+
+    solver: str
+    n_requests: int
+    n_served: int
+    n_shed: int
+    versions_published: list[int]
+    versions_served: list[int]
+    #: responses whose scores differ from the offline oracle (must be empty)
+    oracle_mismatches: list[int]
+    #: staleness gauge right before and right after each applied swap
+    staleness_at_swaps: list[tuple[int, int, int]]  # (version, before, after)
+    p50_latency_s: float
+    p99_latency_s: float
+    responses: list[PredictResponse] = field(repr=False, default_factory=list)
+    hub: SnapshotHub | None = field(repr=False, default=None)
+    tracer: Tracer | None = field(repr=False, default=None)
+
+    @property
+    def ok(self) -> bool:
+        """The acceptance bar: >= 3 versions served, a clean oracle audit,
+        and staleness dropping at every swap."""
+        return (
+            len(self.versions_served) >= 3
+            and not self.oracle_mismatches
+            and all(after < before for _, before, after in self.staleness_at_swaps)
+        )
+
+
+def _audit(
+    responses: list[PredictResponse],
+    hub: SnapshotHub,
+    source_matrix,
+) -> list[int]:
+    """Request ids whose served scores are not bitwise the offline oracle."""
+    bad: list[int] = []
+    for resp in responses:
+        if resp.shed:
+            continue
+        snap = hub.get(resp.weight_version)
+        oracle = source_matrix.take_rows(resp.row_ids).matvec(snap.weights)
+        if not np.array_equal(
+            np.asarray(resp.scores, dtype=np.float64), oracle
+        ):
+            bad.append(resp.request_id)
+    return bad
+
+
+def train_to_serve(
+    *,
+    solver: str = "seq",
+    formulation: str = "primal",
+    n_epochs: int = 12,
+    publish_every: int = 3,
+    n_examples: int = 512,
+    n_features: int = 128,
+    lam: float = 1e-3,
+    rate_hz: float = 2_000.0,
+    duration_s: float = 1.0,
+    seed: int = 0,
+    serve_config: ServeConfig | None = None,
+    tracer: Tracer | None = None,
+) -> ServeDemoReport:
+    """Train, publish, serve, audit — the end-to-end serving demo.
+
+    Returns a :class:`ServeDemoReport`; ``report.ok`` is the acceptance
+    check the CLI and CI smoke job assert on.
+    """
+    if publish_every < 1:
+        raise ValueError("publish_every must be >= 1")
+    if n_epochs < 3 * publish_every:
+        raise ValueError(
+            "need n_epochs >= 3 * publish_every to publish >= 3 versions"
+        )
+    tracer = tracer or Tracer()
+    dataset = make_sparse_regression(
+        n_examples, n_features, rng=np.random.default_rng(seed)
+    )
+    problem = RidgeProblem(dataset, lam)
+
+    # -- 1. train, collecting the publish timeline --------------------------
+    events = []
+    result = train(
+        problem,
+        solver,
+        config=SolverConfig(
+            formulation=formulation, n_epochs=n_epochs, seed=seed
+        ),
+        on_epoch=events.append,
+    )
+    snapshots: list[WeightSnapshot] = []
+    for ev in events:
+        if ev.epoch % publish_every == 0:
+            snapshots.append(
+                WeightSnapshot(
+                    version=len(snapshots) + 1,
+                    weights=serve_weights(problem, ev.formulation, ev.weights),
+                    epoch=ev.epoch,
+                    published_at=ev.sim_time,
+                    solver=ev.solver,
+                )
+            )
+    if len(snapshots) < 3:
+        raise RuntimeError(
+            f"training published only {len(snapshots)} versions; "
+            "raise n_epochs or lower publish_every"
+        )
+
+    # -- 2. lay the trainer timeline onto the serving window ----------------
+    # epoch e of E lands at e/E of 90% of the window, so the last swap still
+    # has traffic behind it to serve the freshest version
+    span = 0.9 * duration_s
+    at = lambda epoch: span * epoch / n_epochs  # noqa: E731
+
+    first = snapshots[0]
+    hub = SnapshotHub()
+    server = ModelServer(
+        None, hub=hub, config=serve_config or ServeConfig(), tracer=tracer
+    )
+    timeline: list = []
+    for ev in events:
+        timeline.append(EpochNote(at_s=at(ev.epoch), epoch=ev.epoch))
+    for snap in snapshots:
+        if snap is first:
+            continue  # v1 is pre-loaded below, before traffic starts
+        timeline.append(SwapEvent(at_s=at(snap.epoch), snapshot=snap))
+    hub.publish(first)
+    server.apply_swap(first, at=0.0)
+
+    # -- 3. traffic + replay -----------------------------------------------
+    arrivals = poisson_arrivals(rate_hz, duration_s, seed=seed)
+    source = RequestSource(dataset.csr, seed=seed)
+    timeline.extend(source.requests(arrivals))
+
+    staleness_at_swaps: list[tuple[int, int, int]] = []
+    orig_apply = server.apply_swap
+
+    def apply_and_record(snapshot, at=None):
+        before = hub.staleness_of(server._snapshot)
+        orig_apply(snapshot, at=at)
+        staleness_at_swaps.append(
+            (snapshot.version, before, hub.staleness_of(snapshot))
+        )
+
+    server.apply_swap = apply_and_record
+    responses = replay(server, timeline)
+
+    # -- 4. audit -----------------------------------------------------------
+    mismatches = _audit(responses, hub, dataset.csr)
+    lat = tracer.metrics.histogram("serve.latency_s")
+    served = [r for r in responses if not r.shed]
+    return ServeDemoReport(
+        solver=result.solver_name,
+        n_requests=len(arrivals),
+        n_served=len(served),
+        n_shed=sum(1 for r in responses if r.shed),
+        versions_published=hub.versions,
+        versions_served=list(server.versions_served),
+        oracle_mismatches=mismatches,
+        staleness_at_swaps=staleness_at_swaps,
+        p50_latency_s=lat.quantile(0.50) if lat else 0.0,
+        p99_latency_s=lat.quantile(0.99) if lat else 0.0,
+        responses=responses,
+        hub=hub,
+        tracer=tracer,
+    )

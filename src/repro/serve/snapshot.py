@@ -1,0 +1,190 @@
+"""Versioned, immutable weight snapshots and the publish/subscribe hub.
+
+The continuous-training loop the paper motivates (Section I: models must be
+retrained "as frequently as possible" on fresh data) only pays off if the
+*serving* side can pick up new weights without stopping.  The protocol here
+makes that hand-off safe by construction:
+
+* a :class:`WeightSnapshot` is **immutable** — the weight vector is copied at
+  construction and marked read-only, and the snapshot carries a monotonically
+  increasing ``version``, the training ``epoch`` that produced it, and a
+  CRC32 ``fingerprint`` of the exact bytes, so any served response can be
+  audited against the offline ``X @ w`` oracle for its recorded version;
+* the :class:`SnapshotHub` publishes snapshots by **atomic reference swap**:
+  a reader that captured a snapshot reference keeps scoring against those
+  bytes no matter how many publishes happen meanwhile.  There is no lock and
+  no copy on the read path — readers never block writers and vice versa;
+* torn reads are impossible because nothing ever mutates a published
+  snapshot; a "swap" is one Python attribute assignment, and the serving
+  batch loop captures the reference exactly once per batch
+  (:class:`~repro.serve.server.ModelServer`), so a batch is scored entirely
+  on the old or entirely on the new version — never a mix.
+
+The hub also tracks the trainer's frontier (:meth:`SnapshotHub.note_epoch`)
+separately from what has been published, which is what makes
+*staleness-of-served-weights* — epochs behind the trainer — measurable.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "WeightSnapshot",
+    "SnapshotHub",
+    "serve_weights",
+    "snapshot_from_result",
+]
+
+
+@dataclass(frozen=True)
+class WeightSnapshot:
+    """One immutable, versioned model the serving layer can score against.
+
+    ``weights`` is always a float64 copy with the writeable flag cleared:
+    mutating a published snapshot is a hard error, which is what makes the
+    hub's lock-free reference swap safe.
+    """
+
+    version: int
+    weights: np.ndarray
+    #: training epoch that produced these weights
+    epoch: int = 0
+    #: modelled seconds on the publisher's clock when this was produced
+    published_at: float = 0.0
+    solver: str = ""
+    #: CRC32 of the weight bytes — the audit handle for oracle replays
+    fingerprint: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ValueError("snapshot version must be >= 1")
+        w = np.ascontiguousarray(self.weights, dtype=np.float64).copy()
+        w.flags.writeable = False
+        object.__setattr__(self, "weights", w)
+        object.__setattr__(self, "fingerprint", zlib.crc32(w.tobytes()))
+
+    @property
+    def n_features(self) -> int:
+        return int(self.weights.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WeightSnapshot(v{self.version}, epoch={self.epoch}, "
+            f"m={self.n_features}, crc={self.fingerprint:#010x})"
+        )
+
+
+def serve_weights(problem, formulation: str, weights: np.ndarray) -> np.ndarray:
+    """Map a solver's model vector to the *serveable* primal weights.
+
+    Dual ridge iterates live in example space and map through Eq. 5
+    (``beta_from_alpha``); the SVM/logistic SDCA solvers and the primal
+    formulations already maintain the primal model.
+    """
+    if formulation == "dual" and hasattr(problem, "beta_from_alpha"):
+        return problem.beta_from_alpha(np.asarray(weights, dtype=np.float64))
+    return np.asarray(weights, dtype=np.float64)
+
+
+def snapshot_from_result(
+    result, problem, *, version: int = 1, published_at: float = 0.0
+) -> WeightSnapshot:
+    """Snapshot a finished :class:`~repro.solvers.base.TrainResult`.
+
+    The one-shot path: train to completion, publish the final model.  The
+    continuous path publishes from ``on_epoch`` callbacks instead (see
+    :func:`repro.serve.demo.train_to_serve`).
+    """
+    epoch = result.history.records[-1].epoch if result.history.records else 0
+    return WeightSnapshot(
+        version=version,
+        weights=result.primal_weights(problem),
+        epoch=epoch,
+        published_at=published_at,
+        solver=result.solver_name,
+    )
+
+
+class SnapshotHub:
+    """Single-writer, many-reader snapshot store with atomic swap semantics.
+
+    ``publish`` validates that versions strictly increase and that the
+    feature dimension never changes, retains every published version (so
+    responses can be audited against the exact weights that scored them),
+    and fans the new snapshot out to subscribers.  ``latest`` is one
+    attribute read — the whole hot-swap protocol on the read side.
+
+    The *trainer frontier* (``trainer_epoch``) advances on every training
+    epoch via :meth:`note_epoch`, even when no snapshot is published; the gap
+    between the frontier and a served snapshot's ``epoch`` is the staleness
+    the serving metrics report.
+    """
+
+    def __init__(self) -> None:
+        self._latest: WeightSnapshot | None = None
+        self._by_version: dict[int, WeightSnapshot] = {}
+        self._subscribers: list[Callable[[WeightSnapshot], None]] = []
+        #: highest training epoch the trainer has reported reaching
+        self.trainer_epoch: int = 0
+
+    # -- writer side --------------------------------------------------------
+    def publish(self, snapshot: WeightSnapshot) -> WeightSnapshot:
+        if self._latest is not None:
+            if snapshot.version <= self._latest.version:
+                raise ValueError(
+                    f"snapshot versions must increase: got v{snapshot.version} "
+                    f"after v{self._latest.version}"
+                )
+            if snapshot.n_features != self._latest.n_features:
+                raise ValueError(
+                    f"snapshot dimension changed: {snapshot.n_features} != "
+                    f"{self._latest.n_features}"
+                )
+        self._by_version[snapshot.version] = snapshot
+        self.trainer_epoch = max(self.trainer_epoch, snapshot.epoch)
+        # the swap: one reference assignment, atomic for every reader
+        self._latest = snapshot
+        for notify in self._subscribers:
+            notify(snapshot)
+        return snapshot
+
+    def note_epoch(self, epoch: int) -> None:
+        """Advance the trainer frontier without publishing weights."""
+        self.trainer_epoch = max(self.trainer_epoch, int(epoch))
+
+    # -- reader side --------------------------------------------------------
+    def latest(self) -> WeightSnapshot | None:
+        return self._latest
+
+    def get(self, version: int) -> WeightSnapshot:
+        try:
+            return self._by_version[version]
+        except KeyError:
+            raise KeyError(f"no published snapshot with version {version}") from None
+
+    @property
+    def versions(self) -> list[int]:
+        return sorted(self._by_version)
+
+    def staleness_of(self, snapshot: WeightSnapshot | None) -> int:
+        """Epochs the trainer is ahead of ``snapshot`` (0 when fresh)."""
+        if snapshot is None:
+            return self.trainer_epoch
+        return max(0, self.trainer_epoch - snapshot.epoch)
+
+    def subscribe(self, notify: Callable[[WeightSnapshot], None]) -> None:
+        """Register a callback invoked on every publish (delivery may be
+        wrapped by the caller, e.g. to inject dropped notifications)."""
+        self._subscribers.append(notify)
+
+    def __len__(self) -> int:
+        return len(self._by_version)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        v = self._latest.version if self._latest else 0
+        return f"SnapshotHub(latest=v{v}, {len(self)} versions)"

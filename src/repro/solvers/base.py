@@ -30,10 +30,31 @@ from ..sparse import CscMatrix, CsrMatrix
 
 __all__ = [
     "BoundKernel",
+    "EpochEvent",
     "KernelFactory",
     "ScdSolver",
     "TrainResult",
 ]
+
+
+@dataclass(frozen=True)
+class EpochEvent:
+    """What an ``on_epoch`` training callback observes at a monitored epoch.
+
+    ``weights`` is the engine's **live** model vector in its native
+    formulation (primal beta / dual alpha) — consumers that outlive the call
+    must copy (:class:`~repro.serve.snapshot.WeightSnapshot` does).  This is
+    the continuous-training publish point: a serving hub subscribes here to
+    receive versioned weight snapshots while training is still running.
+    """
+
+    epoch: int
+    weights: np.ndarray
+    formulation: str
+    #: modelled seconds of training so far (wall seconds for real backends)
+    sim_time: float
+    gap: float
+    solver: str = ""
 
 
 @dataclass
@@ -176,6 +197,7 @@ class ScdSolver:
         monitor_every: int = 1,
         target_gap: float | None = None,
         tracer=None,
+        on_epoch=None,
     ) -> TrainResult:
         """Train for up to ``n_epochs`` epochs.
 
@@ -185,6 +207,9 @@ class ScdSolver:
         ``tracer`` attaches a :class:`~repro.obs.Tracer` (defaults to the
         ambient tracer installed by :func:`~repro.obs.use_tracer`); tracing
         only observes — seeded trajectories are bit-identical with it on.
+        ``on_epoch`` is called with an :class:`EpochEvent` after every
+        monitored epoch (the train-to-serve publish hook); it observes only
+        and cannot perturb the trajectory.
         """
         if n_epochs < 0:
             raise ValueError("n_epochs must be non-negative")
@@ -252,6 +277,17 @@ class ScdSolver:
                             extras={"lost_updates": lost_total},
                         )
                     )
+                    if on_epoch is not None:
+                        on_epoch(
+                            EpochEvent(
+                                epoch=epoch,
+                                weights=weights,
+                                formulation=self.formulation,
+                                sim_time=sim_time,
+                                gap=gap,
+                                solver=self.name,
+                            )
+                        )
                     if target_gap is not None and gap <= target_gap:
                         break
 

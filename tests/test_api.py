@@ -18,6 +18,7 @@ from repro import SolverConfig, train
 from repro.api import SOLVER_ALIASES
 from repro.cli import main
 from repro.core.distributed import DistributedTrainResult
+from repro.core import distributed_svm
 from repro.core.distributed_svm import SvmTrainResult
 from repro.objectives import SvmProblem
 from repro.solvers.base import TrainResult
@@ -124,6 +125,7 @@ class TestTrainDispatch:
         res = train(svm_sparse, "distributed-svm", n_epochs=2, n_workers=2)
         assert isinstance(res, SvmTrainResult)
         assert isinstance(res, TrainResult)
+        distributed_svm._reset_tuple_unpack_warning()
         with pytest.warns(DeprecationWarning, match="tuple-unpacking"):
             w, alpha, history, ledger = res
         np.testing.assert_array_equal(w, res.weights)

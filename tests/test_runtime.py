@@ -34,6 +34,7 @@ from repro.cluster.runtime import (
 from repro.core import DistributedSCD
 from repro.cluster.mp_cluster import MpDistributedSCD
 from repro.cluster.partition import contiguous_partition, random_partition
+from repro.core import distributed_svm
 from repro.core.distributed_svm import DistributedSvm, SvmTrainResult
 from repro.cluster.faults import FaultSpec
 from repro.data import make_webspam_like
@@ -236,6 +237,7 @@ class TestSvmTrainResultDeprecation:
         return DistributedSvm(n_workers=2, seed=3).solve(problem, 2)
 
     def test_tuple_unpack_warns(self, svm_result):
+        distributed_svm._reset_tuple_unpack_warning()
         with pytest.warns(DeprecationWarning, match="tuple-unpacking"):
             w, alpha, history, ledger = svm_result
         assert np.array_equal(w, svm_result.weights)
@@ -250,3 +252,40 @@ class TestSvmTrainResultDeprecation:
             assert svm_result.alpha is not None
             assert svm_result.history.final_gap() >= 0.0
             assert svm_result.ledger is not None
+
+    def test_warning_fires_exactly_once_per_process(self, svm_result):
+        distributed_svm._reset_tuple_unpack_warning()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            tuple(svm_result)
+            tuple(svm_result)
+            list(iter(svm_result))
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_no_in_repo_call_site_tuple_unpacks(self):
+        """The legacy ``w, alpha, history, ledger = result`` unpack must not
+        survive anywhere but the two tests that pin its deprecation."""
+        import re
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        allowed = {"tests/test_runtime.py", "tests/test_api.py"}
+        unpack = re.compile(r"\bw\s*,\s*alpha\s*,\s*history\s*,\s*ledger\s*=")
+        offenders = []
+        for root in ("src", "tests", "tools", "examples", "benchmarks"):
+            for path in sorted((repo / root).rglob("*.py")):
+                rel = path.relative_to(repo).as_posix()
+                if rel in allowed:
+                    continue
+                for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1
+                ):
+                    if unpack.search(line):
+                        offenders.append(f"{rel}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "SvmTrainResult tuple-unpack found outside the deprecation "
+            "tests:\n" + "\n".join(offenders)
+        )

@@ -1,0 +1,218 @@
+"""Serving under chaos: slow scorers and lost swap notifications.
+
+Reuses the cluster's seeded :class:`~repro.cluster.faults.FaultInjector`
+(planned per *batch* instead of per epoch) so the chaos schedule is
+bit-reproducible.  The contract under faults is graceful degradation:
+queues grow, requests shed, stale weights keep serving — but the server
+never deadlocks, never drops a request because of a swap, and every served
+response still carries the version that scored it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import FaultInjector, FaultSpec
+from repro.data import make_sparse_regression
+from repro.obs import Tracer
+from repro.serve import (
+    ModelServer,
+    ServeConfig,
+    SnapshotHub,
+    WeightSnapshot,
+)
+from repro.serve.traffic import (
+    EpochNote,
+    RequestSource,
+    SwapEvent,
+    poisson_arrivals,
+    replay,
+)
+
+
+@pytest.fixture
+def matrix():
+    return make_sparse_regression(
+        64, 16, nnz_per_example=4, rng=np.random.default_rng(0)
+    ).csr
+
+
+def _snap(version, m=16, seed=0, epoch=0):
+    return WeightSnapshot(
+        version=version,
+        weights=np.random.default_rng(seed + version).standard_normal(m),
+        epoch=epoch,
+    )
+
+
+def _slow_scorer(rate=0.5, multiplier=200.0, seed=11) -> FaultInjector:
+    return FaultInjector(
+        FaultSpec(
+            straggler_rate=rate, straggler_multiplier=multiplier, seed=seed
+        )
+    )
+
+
+class TestSlowScorer:
+    def test_degrades_by_shedding_not_deadlocking(self, matrix):
+        """A 200x scorer stall under sustained traffic must shed, not hang."""
+        tracer = Tracer()
+        server = ModelServer(
+            _snap(1),
+            config=ServeConfig(
+                max_batch=4, max_wait_s=1e-3, queue_capacity=8,
+                shed_policy="drop-oldest",
+            ),
+            faults=_slow_scorer(),
+            tracer=tracer,
+        )
+        times = poisson_arrivals(3_000.0, 0.5, seed=3)
+        reqs = RequestSource(matrix, seed=3).requests(times)
+        for req in reqs:
+            server.submit(req)
+        responses = server.drain()
+
+        # every admitted request is accounted for: served or shed, none lost
+        assert len(responses) == len(reqs)
+        assert {r.request_id for r in responses} == {r.request_id for r in reqs}
+        m = tracer.metrics
+        assert m.counter("serve.slow_batches") > 0
+        assert m.counter("serve.shed") > 0
+        assert m.counter("serve.responses") + m.counter("serve.shed") == len(reqs)
+        # degradation is visible in the latency tail, not in lost work
+        assert m.histogram("serve.latency_s").max > 10 * 1e-3
+
+    def test_fault_schedule_is_deterministic(self, matrix):
+        def run():
+            tracer = Tracer()
+            server = ModelServer(
+                _snap(1),
+                config=ServeConfig(max_batch=4, max_wait_s=1e-3),
+                faults=_slow_scorer(),
+                tracer=tracer,
+            )
+            times = poisson_arrivals(2_000.0, 0.2, seed=5)
+            for req in RequestSource(matrix, seed=5).requests(times):
+                server.submit(req)
+            server.drain()
+            return (
+                tracer.metrics.counter("serve.slow_batches"),
+                [r.done_s for r in server.responses],
+            )
+
+        assert run() == run()
+
+    def test_zero_rate_injector_changes_nothing(self, matrix):
+        def run(faults):
+            server = ModelServer(
+                _snap(1),
+                config=ServeConfig(max_batch=4, max_wait_s=1e-3),
+                faults=faults,
+            )
+            times = poisson_arrivals(2_000.0, 0.2, seed=7)
+            for req in RequestSource(matrix, seed=7).requests(times):
+                server.submit(req)
+            return [(r.request_id, r.done_s) for r in server.drain()]
+
+        assert run(None) == run(FaultInjector(FaultSpec()))
+
+
+class TestDroppedSwapNotification:
+    def _timeline(self, matrix, *, drop_v2: bool):
+        hub = SnapshotHub()
+        v1 = _snap(1, epoch=2)
+        hub.publish(v1)
+        tracer = Tracer()
+        # the server adopts the hub's latest (v1) at construction
+        server = ModelServer(
+            None, hub=hub,
+            config=ServeConfig(max_batch=4, max_wait_s=1e-3),
+            tracer=tracer,
+        )
+        assert server.current_version == v1.version
+        events: list = [
+            EpochNote(at_s=0.05, epoch=4),
+            SwapEvent(at_s=0.10, snapshot=_snap(2, epoch=4), dropped=drop_v2),
+            EpochNote(at_s=0.15, epoch=6),
+            SwapEvent(at_s=0.20, snapshot=_snap(3, epoch=6)),
+        ]
+        times = poisson_arrivals(1_000.0, 0.3, seed=9)
+        events.extend(RequestSource(matrix, seed=9).requests(times))
+        responses = replay(server, events)
+        return hub, server, tracer, responses
+
+    def test_lost_notification_serves_stale_then_recovers(self, matrix):
+        hub, server, tracer, responses = self._timeline(matrix, drop_v2=True)
+        # v2's publish reached the hub (the trainer made it), only the
+        # server's notification was lost: it kept serving v1, then recovered
+        # directly to v3
+        assert hub.versions == [1, 2, 3]
+        assert server.versions_served == [1, 3]
+        assert tracer.metrics.counter("serve.swap_dropped") == 1
+        assert tracer.metrics.counter("serve.swaps") == 1  # v3 only
+        # while v2 was lost the served weights were visibly stale
+        stale = [
+            r for r in responses
+            if not r.shed and r.weight_version == 1 and r.done_s > 0.10
+        ]
+        assert stale and all(r.staleness_epochs >= 2 for r in stale)
+
+    def test_no_request_is_dropped_by_a_swap(self, matrix):
+        for drop in (False, True):
+            hub, server, tracer, responses = self._timeline(
+                matrix, drop_v2=drop
+            )
+            n_requests = int(tracer.metrics.counter("serve.requests"))
+            assert n_requests > 0
+            # swaps (applied or dropped) never cost a request: everything
+            # admitted is served — shedding is the only loss channel and
+            # this load never overflows the queue
+            assert len([r for r in responses if not r.shed]) == n_requests
+            assert tracer.metrics.counter("serve.shed") == 0
+
+    def test_every_response_carries_its_version(self, matrix):
+        hub, server, tracer, responses = self._timeline(matrix, drop_v2=True)
+        for resp in responses:
+            if resp.shed:
+                continue
+            assert resp.weight_version in server.versions_served
+            snap = hub.get(resp.weight_version)
+            assert resp.weight_fingerprint == snap.fingerprint
+            oracle = matrix.take_rows(resp.row_ids).matvec(snap.weights)
+            np.testing.assert_array_equal(np.asarray(resp.scores), oracle)
+
+
+class TestChaosCombined:
+    def test_slow_scorer_plus_dropped_swaps_still_terminates(self, matrix):
+        """The compound scenario: stalls + lost notifications + overload."""
+        hub = SnapshotHub()
+        v1 = _snap(1, epoch=1)
+        hub.publish(v1)
+        tracer = Tracer()
+        server = ModelServer(
+            None, hub=hub,
+            config=ServeConfig(
+                max_batch=4, max_wait_s=1e-3, queue_capacity=6,
+                shed_policy="reject-new",
+            ),
+            faults=_slow_scorer(rate=0.3, multiplier=500.0, seed=21),
+            tracer=tracer,
+        )
+        assert server.current_version == v1.version
+        events: list = [
+            SwapEvent(at_s=0.1, snapshot=_snap(2, epoch=2), dropped=True),
+            SwapEvent(at_s=0.2, snapshot=_snap(3, epoch=3)),
+            SwapEvent(at_s=0.3, snapshot=_snap(4, epoch=4), dropped=True),
+        ]
+        times = poisson_arrivals(5_000.0, 0.4, seed=22)
+        reqs = RequestSource(matrix, seed=22).requests(times)
+        events.extend(reqs)
+        responses = replay(server, events)  # must terminate
+        assert len(responses) == len(reqs)
+        assert tracer.metrics.counter("serve.swap_dropped") == 2
+        assert server.versions_served == [1, 3]
+        served = [r for r in responses if not r.shed]
+        assert served
+        for resp in served:
+            assert resp.weight_version is not None
