@@ -268,6 +268,7 @@ def _cmd_serve(args) -> int:
         "shed": report.n_shed,
         "versions_published": report.versions_published,
         "versions_served": report.versions_served,
+        "fingerprints": [f"{fp:#010x}" for fp in report.fingerprints],
         "staleness_at_swaps": [
             {"version": v, "before": b, "after": a}
             for v, b, a in report.staleness_at_swaps
@@ -288,6 +289,10 @@ def _cmd_serve(args) -> int:
         print(
             f"  versions served: {report.versions_served} "
             f"(published {report.versions_published})"
+        )
+        print(
+            "  fingerprints: "
+            + " ".join(f"{fp:#010x}" for fp in report.fingerprints)
         )
         for v, before, after in report.staleness_at_swaps:
             print(f"  swap -> v{v}: staleness {before} -> {after} epochs")

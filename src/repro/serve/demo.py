@@ -2,10 +2,11 @@
 
 :func:`train_to_serve` is the acceptance harness behind ``repro serve``:
 
-1. train a solver on a synthetic sparse problem, collecting an
-   :class:`~repro.solvers.base.EpochEvent` at every monitored epoch via the
-   ``on_epoch`` publish hook — every ``publish_every``-th event becomes a
-   versioned :class:`~repro.serve.snapshot.WeightSnapshot`;
+1. train a solver on a synthetic sparse problem, observing every monitored
+   epoch via the ``on_epoch`` publish hook — every ``publish_every``-th
+   event becomes a versioned :class:`~repro.serve.snapshot.WeightSnapshot`,
+   built *inside* the callback so each version captures that epoch's
+   weights (never a deferred alias of the final ones);
 2. lay the training timeline onto the serving clock (epoch ``e`` of ``E``
    lands at ``e/E`` of the traffic window), so swaps arrive while requests
    are in flight and the trainer frontier advances between swaps;
@@ -13,7 +14,9 @@
    through a :class:`~repro.serve.server.ModelServer`, and drain;
 4. audit: every served response must be **bitwise** equal to the offline
    ``X @ w`` oracle for the weight version stamped on it, no request may be
-   dropped because of a swap, and staleness must fall at every swap.
+   dropped because of a swap, staleness must fall at every swap, and
+   consecutive versions must carry distinct fingerprints (the versions are
+   really different weights, not re-publishes of one array).
 
 Everything is derived from one seed; the report is reproducible to the byte.
 """
@@ -49,6 +52,8 @@ class ServeDemoReport:
     oracle_mismatches: list[int]
     #: staleness gauge right before and right after each applied swap
     staleness_at_swaps: list[tuple[int, int, int]]  # (version, before, after)
+    #: CRC32 of each published version's weight bytes, in version order
+    fingerprints: list[int]
     p50_latency_s: float
     p99_latency_s: float
     responses: list[PredictResponse] = field(repr=False, default_factory=list)
@@ -58,11 +63,15 @@ class ServeDemoReport:
     @property
     def ok(self) -> bool:
         """The acceptance bar: >= 3 versions served, a clean oracle audit,
-        and staleness dropping at every swap."""
+        staleness dropping at every swap, and consecutive versions with
+        distinct fingerprints (each publish carries genuinely new weights)."""
         return (
             len(self.versions_served) >= 3
             and not self.oracle_mismatches
             and all(after < before for _, before, after in self.staleness_at_swaps)
+            and all(
+                a != b for a, b in zip(self.fingerprints, self.fingerprints[1:])
+            )
         )
 
 
@@ -117,18 +126,16 @@ def train_to_serve(
     )
     problem = RidgeProblem(dataset, lam)
 
-    # -- 1. train, collecting the publish timeline --------------------------
+    # -- 1. train, publishing snapshots from inside the callback ------------
     events = []
-    result = train(
-        problem,
-        solver,
-        config=SolverConfig(
-            formulation=formulation, n_epochs=n_epochs, seed=seed
-        ),
-        on_epoch=events.append,
-    )
     snapshots: list[WeightSnapshot] = []
-    for ev in events:
+
+    def publish(ev) -> None:
+        # snapshot here, not after train() returns: WeightSnapshot copies
+        # the weight bytes while this epoch's values are current, so each
+        # version is genuinely different (EpochEvent already hands us a
+        # per-epoch copy, but the demo should not lean on that)
+        events.append(ev)
         if ev.epoch % publish_every == 0:
             snapshots.append(
                 WeightSnapshot(
@@ -139,6 +146,15 @@ def train_to_serve(
                     solver=ev.solver,
                 )
             )
+
+    result = train(
+        problem,
+        solver,
+        config=SolverConfig(
+            formulation=formulation, n_epochs=n_epochs, seed=seed
+        ),
+        on_epoch=publish,
+    )
     if len(snapshots) < 3:
         raise RuntimeError(
             f"training published only {len(snapshots)} versions; "
@@ -197,6 +213,7 @@ def train_to_serve(
         versions_served=list(server.versions_served),
         oracle_mismatches=mismatches,
         staleness_at_swaps=staleness_at_swaps,
+        fingerprints=[snap.fingerprint for snap in snapshots],
         p50_latency_s=lat.quantile(0.50) if lat else 0.0,
         p99_latency_s=lat.quantile(0.99) if lat else 0.0,
         responses=responses,

@@ -65,6 +65,8 @@ def poisson_arrivals(
         raise ValueError("rate_hz must be positive")
     if duration_s < 0:
         raise ValueError("duration_s must be non-negative")
+    if duration_s == 0:
+        return np.empty(0)
     rng = np.random.default_rng([int(seed), _ARRIVALS_KEY])
     times: list[np.ndarray] = []
     t = 0.0

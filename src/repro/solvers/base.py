@@ -41,11 +41,13 @@ __all__ = [
 class EpochEvent:
     """What an ``on_epoch`` training callback observes at a monitored epoch.
 
-    ``weights`` is the engine's **live** model vector in its native
-    formulation (primal beta / dual alpha) — consumers that outlive the call
-    must copy (:class:`~repro.serve.snapshot.WeightSnapshot` does).  This is
-    the continuous-training publish point: a serving hub subscribes here to
-    receive versioned weight snapshots while training is still running.
+    ``weights`` is a private copy of the model vector in its native
+    formulation (primal beta / dual alpha) — never the engine's live buffer,
+    so a consumer may retain the event past the callback (deferred
+    snapshotting sees each epoch's weights, not aliases of the final ones).
+    This is the continuous-training publish point: a serving hub subscribes
+    here to receive versioned weight snapshots while training is still
+    running.
     """
 
     epoch: int
@@ -281,7 +283,9 @@ class ScdSolver:
                         on_epoch(
                             EpochEvent(
                                 epoch=epoch,
-                                weights=weights,
+                                # copy: the event must not alias the live
+                                # buffer mutated by later epochs
+                                weights=weights.copy(),
                                 formulation=self.formulation,
                                 sim_time=sim_time,
                                 gap=gap,

@@ -29,6 +29,7 @@ from repro.serve import (
     WeightSnapshot,
     serve_weights,
     snapshot_from_result,
+    train_to_serve,
 )
 from repro.serve.traffic import RequestSource, poisson_arrivals
 from repro.solvers.base import EpochEvent
@@ -338,6 +339,21 @@ class TestEpochPublishHook:
         np.testing.assert_array_equal(plain.weights, hooked.weights)
         assert plain.history.records[-1].gap == hooked.history.records[-1].gap
 
+    def test_events_keep_per_epoch_weights_after_training(self, ridge_sparse):
+        # regression: events retained past train() must hold per-epoch
+        # copies, not aliases of the live buffer — a deferred snapshotter
+        # would otherwise see the final weights for every epoch
+        events: list[EpochEvent] = []
+        res = train(ridge_sparse, "seq", n_epochs=4, on_epoch=events.append)
+        assert all(ev.weights is not res.weights for ev in events)
+        fingerprints = [
+            WeightSnapshot(version=i + 1, weights=ev.weights).fingerprint
+            for i, ev in enumerate(events)
+        ]
+        assert len(set(fingerprints)) == len(fingerprints)
+        # the last monitored epoch still carries the final model's values
+        np.testing.assert_array_equal(events[-1].weights, res.weights)
+
     def test_cluster_engine_publishes_global_model(self, ridge_sparse):
         events: list[EpochEvent] = []
         res = train(ridge_sparse, "distributed", n_epochs=3, n_workers=2,
@@ -377,3 +393,34 @@ class TestEpochPublishHook:
         np.testing.assert_array_equal(
             snap.weights, res.primal_weights(problem)
         )
+
+
+# ---------------------------------------------------------------------------
+# Traffic generator edge cases
+# ---------------------------------------------------------------------------
+class TestTrafficEdgeCases:
+    def test_zero_duration_yields_no_arrivals(self):
+        out = poisson_arrivals(100.0, 0.0)
+        assert isinstance(out, np.ndarray)
+        assert out.size == 0
+
+
+# ---------------------------------------------------------------------------
+# train_to_serve: each published version is genuinely different weights
+# ---------------------------------------------------------------------------
+class TestTrainToServeDemo:
+    def test_consecutive_versions_have_distinct_fingerprints(self):
+        # regression: deferred snapshotting once aliased the solver's live
+        # buffer, so all published versions fingerprinted identically
+        report = train_to_serve(
+            n_epochs=6,
+            publish_every=2,
+            n_examples=96,
+            n_features=24,
+            rate_hz=400.0,
+            duration_s=0.5,
+            seed=0,
+        )
+        assert len(report.fingerprints) >= 3
+        assert len(set(report.fingerprints)) == len(report.fingerprints)
+        assert report.ok

@@ -128,6 +128,9 @@ def serving_section() -> list[str]:
         f"shed {report.n_shed}; zero dropped by a swap ✓",
         f"- versions published {report.versions_published}, served "
         f"{report.versions_served} (>= 3 distinct versions ✓)",
+        "- version fingerprints: "
+        + " ".join(f"{fp:#010x}" for fp in report.fingerprints)
+        + " — consecutive versions distinct ✓",
         f"- oracle mismatches: {len(report.oracle_mismatches)} "
         "(every served score bitwise equal to the offline matvec ✓)",
         f"- staleness (epochs) before->after each swap: {swaps} — "
