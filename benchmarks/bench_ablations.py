@@ -5,17 +5,11 @@ staleness window, atomic vs wild GPU writes, the aggregation rule, fp32 vs
 fp64 arithmetic, and pinned vs pageable PCIe transfers.
 """
 
-from repro.experiments import (
-    run_aggregation_ablation,
-    run_gpu_write_ablation,
-    run_pcie_ablation,
-    run_precision_ablation,
-    run_wave_ablation,
-)
+from repro.experiments.registry import driver
 
 
 def test_ablation_wave_staleness(figure_runner):
-    fig = figure_runner(run_wave_ablation)
+    fig = figure_runner(driver("ablation-wave"))
     finals = {s.meta["wave"]: s.final() for s in fig.series}
     # small windows track sequential; the largest degrades badly
     assert finals[256] > 1e3 * finals[1]
@@ -23,14 +17,14 @@ def test_ablation_wave_staleness(figure_runner):
 
 
 def test_ablation_gpu_write_mode(figure_runner):
-    fig = figure_runner(run_gpu_write_ablation)
+    fig = figure_runner(driver("ablation-gpu-write"))
     assert fig.get("wild").final() > 10 * fig.get("atomic").final()
     assert fig.get("wild").meta["lost_updates"] > 0
     assert fig.get("atomic").meta["lost_updates"] == 0
 
 
 def test_ablation_aggregation_rule(figure_runner):
-    fig = figure_runner(run_aggregation_ablation)
+    fig = figure_runner(driver("ablation-aggregation"))
     adding = fig.get("adding").final()
     averaging = fig.get("averaging").final()
     adaptive = fig.get("adaptive").final()
@@ -39,12 +33,12 @@ def test_ablation_aggregation_rule(figure_runner):
 
 
 def test_ablation_precision(figure_runner):
-    fig = figure_runner(run_precision_ablation)
+    fig = figure_runner(driver("ablation-precision"))
     assert fig.get("float64").final() <= fig.get("float32").final()
 
 
 def test_ablation_pcie_pinning(figure_runner):
-    fig = figure_runner(run_pcie_ablation)
+    fig = figure_runner(driver("ablation-pcie"))
     pinned = fig.get("pinned").meta["pcie_seconds"]
     pageable = fig.get("pageable").meta["pcie_seconds"]
     assert pageable > 1.5 * pinned

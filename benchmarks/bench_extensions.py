@@ -14,27 +14,18 @@ import math
 
 import numpy as np
 
-from repro.experiments import (
-    run_async_vs_sync,
-    run_batch_vs_stochastic,
-    run_weak_scaling,
-    run_comm_tradeoff,
-    run_glm_gpu,
-    run_heterogeneous_cluster,
-    run_sigma_sweep,
-    run_smart_partition,
-)
+from repro.experiments.registry import driver
 
 
 def test_ext_smart_partition(figure_runner):
-    fig = figure_runner(run_smart_partition)
+    fig = figure_runner(driver("ext-smart-partition"))
     random_final = fig.get("random").final()
     smart_final = fig.get("correlation-aware").final()
     assert smart_final < random_final / 5
 
 
 def test_ext_comm_tradeoff(figure_runner):
-    fig = figure_runner(run_comm_tradeoff)
+    fig = figure_runner(driver("ext-comm-tradeoff"))
     slow = fig.get("10GbE").y
     fast = fig.get("100GbE").y
     finite = np.isfinite(slow) & np.isfinite(fast)
@@ -46,7 +37,7 @@ def test_ext_comm_tradeoff(figure_runner):
 
 
 def test_ext_sigma_sweep(figure_runner):
-    fig = figure_runner(run_sigma_sweep)
+    fig = figure_runner(driver("ext-sigma-sweep"))
     s1 = fig.get("sigma'=1").final()
     s2 = fig.get("sigma'=2").final()
     s8 = fig.get("sigma'=8").final()
@@ -55,7 +46,7 @@ def test_ext_sigma_sweep(figure_runner):
 
 
 def test_ext_async_vs_sync(figure_runner):
-    fig = figure_runner(run_async_vs_sync)
+    fig = figure_runner(driver("ext-async-vs-sync"))
     sync_t = fig.get("synchronous (averaging)").meta["time_to_target"]
     fine = fig.get("async batch=1/16").meta["time_to_target"]
     stale = fig.get("async batch=1/4 (too stale)").meta["time_to_target"]
@@ -64,14 +55,14 @@ def test_ext_async_vs_sync(figure_runner):
 
 
 def test_ext_heterogeneous_cluster(figure_runner):
-    fig = figure_runner(run_heterogeneous_cluster)
+    fig = figure_runner(driver("ext-heterogeneous"))
     uni = fig.get("uniform").meta["time_to_target"]
     prop = fig.get("throughput-proportional").meta["time_to_target"]
     assert prop < uni
 
 
 def test_ext_glm_gpu(figure_runner):
-    fig = figure_runner(run_glm_gpu)
+    fig = figure_runner(driver("ext-glm-gpu"))
     # GPU tracks CPU per-epoch down to the fp32 floor on both objectives
     assert fig.get("elastic-net TPA").final() < 1e-5
     assert abs(fig.get("SVM TPA").final()) < 1e-5
@@ -79,7 +70,7 @@ def test_ext_glm_gpu(figure_runner):
 
 
 def test_ext_batch_vs_stochastic(figure_runner):
-    fig = figure_runner(run_batch_vs_stochastic)
+    fig = figure_runner(driver("ext-batch-vs-stochastic"))
     scd = fig.get("SCD (Algorithm 1)").final()
     gd = fig.get("Batch GD").final()
     nesterov = fig.get("Nesterov GD").final()
@@ -90,7 +81,7 @@ def test_ext_batch_vs_stochastic(figure_runner):
 
 
 def test_ext_weak_scaling(figure_runner):
-    fig = figure_runner(run_weak_scaling)
+    fig = figure_runner(driver("ext-weak-scaling"))
     gpu = fig.get("distributed TPA-SCD (K workers)").y
     cpu = fig.get("sequential CPU (same growing data)").y
     # the cluster absorbs the K-fold data growth; the CPU does not

@@ -8,11 +8,11 @@ configurations; PASSCoDe-Wild's duality gap does not converge to zero; the
 
 import numpy as np
 
-from repro.experiments import run_fig10
+from repro.experiments.registry import driver
 
 
 def test_fig10_criteo_large_scale(figure_runner):
-    fig = figure_runner(run_fig10)
+    fig = figure_runner(driver("fig10"))
 
     # the memory gate
     assert fig.meta["single_gpu_fits_40GB"] is False

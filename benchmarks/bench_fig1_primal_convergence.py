@@ -7,11 +7,12 @@ TPA-SCD (Titan X), webspam-like data, primal ridge regression.
 
 import numpy as np
 
-from repro.experiments import SOLVER_LABELS, run_fig1
+from repro.experiments import SOLVER_LABELS
+from repro.experiments.registry import driver
 
 
 def test_fig1_primal_convergence(figure_runner):
-    fig = figure_runner(run_fig1)
+    fig = figure_runner(driver("fig1"))
 
     # 1a: every atomic solver tracks the sequential per-epoch curve
     seq_final = fig.get("SCD (1 thread) | epochs").final()

@@ -6,11 +6,12 @@ Same comparison as Fig. 1 in the dual formulation; the paper's headline
 
 import numpy as np
 
-from repro.experiments import SOLVER_LABELS, run_fig2
+from repro.experiments import SOLVER_LABELS
+from repro.experiments.registry import driver
 
 
 def test_fig2_dual_convergence(figure_runner):
-    fig = figure_runner(run_fig2)
+    fig = figure_runner(driver("fig2"))
 
     seq_final = fig.get("SCD (1 thread) | epochs").final()
     for label in ("A-SCD (16 threads)", "TPA-SCD (M4000)", "TPA-SCD (Titan X)"):

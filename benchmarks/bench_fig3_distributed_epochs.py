@@ -8,12 +8,12 @@ slow-down in per-epoch convergence as K grows.
 import numpy as np
 import pytest
 
-from repro.experiments import run_fig3
+from repro.experiments.registry import driver
 
 
 @pytest.mark.parametrize("formulation", ["primal", "dual"])
 def test_fig3_distributed_epochs(figure_runner, formulation):
-    fig = figure_runner(run_fig3, formulation)
+    fig = figure_runner(driver(f"fig3-{formulation}"))
     finals = [s.final() for s in fig.series]
     ks = [s.meta["n_workers"] for s in fig.series]
     assert ks == [1, 2, 4, 8]

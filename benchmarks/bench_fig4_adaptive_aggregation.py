@@ -8,12 +8,12 @@ small gaps, with a possible early crossover in the dual).
 import numpy as np
 import pytest
 
-from repro.experiments import run_fig4
+from repro.experiments.registry import driver
 
 
 @pytest.mark.parametrize("formulation", ["primal", "dual"])
 def test_fig4_adaptive_aggregation(figure_runner, formulation):
-    fig = figure_runner(run_fig4, formulation)
+    fig = figure_runner(driver(f"fig4-{formulation}"))
     avg = fig.get("Averaging Aggregation")
     ada = fig.get("Adaptive Aggregation")
 

@@ -10,12 +10,12 @@ still meaningfully optimizing, which is what the paper's plateaus show.)
 import numpy as np
 import pytest
 
-from repro.experiments import run_fig5
+from repro.experiments.registry import driver
 
 
 @pytest.mark.parametrize("formulation", ["primal", "dual"])
 def test_fig5_gamma_evolution(figure_runner, formulation):
-    fig = figure_runner(run_fig5, formulation)
+    fig = figure_runner(driver(f"fig5-{formulation}"))
     assert [s.meta["n_workers"] for s in fig.series] == [1, 2, 4, 8]
 
     settled = {}

@@ -9,12 +9,13 @@ targets.
 import numpy as np
 import pytest
 
-from repro.experiments import EPS_TARGETS, run_fig6
+from repro.experiments import EPS_TARGETS
+from repro.experiments.registry import driver
 
 
 @pytest.mark.parametrize("formulation", ["primal", "dual"])
 def test_fig6_time_to_gap(figure_runner, formulation):
-    fig = figure_runner(run_fig6, formulation)
+    fig = figure_runner(driver(f"fig6-{formulation}"))
 
     # every (rule, eps) series present, one point per worker count
     assert len(fig.series) == 2 * len(EPS_TARGETS)

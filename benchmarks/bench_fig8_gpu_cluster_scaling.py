@@ -9,12 +9,13 @@ the M4000 cluster and ~30x on the Titan X cluster).
 import numpy as np
 import pytest
 
-from repro.experiments import EPS_TARGETS, run_fig8
+from repro.experiments import EPS_TARGETS
+from repro.experiments.registry import driver
 
 
 @pytest.mark.parametrize("cluster,min_speedup", [("m4000", 5), ("titanx", 15)])
 def test_fig8_gpu_cluster_scaling(figure_runner, cluster, min_speedup):
-    fig = figure_runner(run_fig8, cluster)
+    fig = figure_runner(driver(f"fig8-{cluster}"))
 
     for eps in EPS_TARGETS:
         scd = fig.get(f"SCD eps={eps:g}").y

@@ -7,11 +7,11 @@ paper reports ~17% at K=8).
 
 import numpy as np
 
-from repro.experiments import run_fig9
+from repro.experiments.registry import driver
 
 
 def test_fig9_comm_breakdown(figure_runner):
-    fig = figure_runner(run_fig9)
+    fig = figure_runner(driver("fig9"))
 
     gpu = fig.get("Comp. Time (GPU)").y
     host = fig.get("Comp. Time (Host)").y

@@ -9,7 +9,7 @@ band around the published value:
   distributed PASSCoDe on the criteo-like sample (K=4).
 """
 
-from repro.experiments import run_headline
+from repro.experiments.registry import driver
 
 BANDS = {
     "A-SCD (16 threads)": (1.4, 3.0),
@@ -22,7 +22,7 @@ BANDS = {
 
 
 def test_headline_speedups(figure_runner):
-    fig = figure_runner(run_headline)
+    fig = figure_runner(driver("headline"))
     measured = fig.get("measured speedup")
     rows = dict(zip(measured.meta["rows"], measured.y))
     for name, (lo, hi) in BANDS.items():

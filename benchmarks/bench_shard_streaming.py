@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.data import make_webspam_like
-from repro.experiments import run_fig10_outofcore
+from repro.experiments.registry import driver
 from repro.shards import (
     Prefetcher,
     ShardCache,
@@ -88,7 +88,7 @@ def test_shard_assemble_group(benchmark, bench_store, bench_dataset):
 
 
 def test_fig10_outofcore_end_to_end(figure_runner):
-    fig = figure_runner(run_fig10_outofcore)
+    fig = figure_runner(driver("fig10-outofcore"))
     assert fig.meta["bit_identical"] is True
     assert fig.meta["cache_misses"] > 0
     # streamed curve reaches the same gap floor as the resident one

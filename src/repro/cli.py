@@ -14,6 +14,7 @@ Usage::
     python -m repro bench                     # pinned epoch micro-benchmarks
     python -m repro bench --baseline BENCH_PR6.json   # + regression gate
     python -m repro serve                     # train-to-serve hot-swap demo
+    python -m repro eval configs/fig1.toml    # declarative eval -> HTML report
 """
 
 from __future__ import annotations
@@ -241,7 +242,104 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the report as JSON (schema repro.serve/v1) instead of text",
     )
+
+    ev = sub.add_parser(
+        "eval",
+        help="run a declarative experiment config (configs/*.toml) through "
+        "the resumable eval runner and render a self-contained HTML report",
+    )
+    ev.add_argument("config", help="path to the experiment config TOML")
+    ev.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="override every cell's scale (replaces the config's scale axis)",
+    )
+    ev.add_argument(
+        "--out-dir",
+        default="eval-reports",
+        metavar="DIR",
+        help="directory for the HTML report (default: eval-reports)",
+    )
+    ev.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cell result cache (default: .eval-cache)",
+    )
+    ev.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel cell workers, 0 = cpu count (default: config [run] jobs)",
+    )
+    ev.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every cell, ignoring cached results",
+    )
+    ev.add_argument(
+        "--no-bench",
+        action="store_true",
+        help="skip the bench-regression section even if the config enables it",
+    )
+    ev.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a run summary as JSON (schema repro.eval/v1) after the report",
+    )
     return parser
+
+
+def _cmd_eval(args) -> int:
+    from .eval import DEFAULT_CACHE_DIR, ConfigError, run_eval
+
+    try:
+        run, report_path = run_eval(
+            args.config,
+            scale=args.scale,
+            out_dir=args.out_dir,
+            cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+            jobs=args.jobs,
+            force=args.force,
+            run_bench=not args.no_bench,
+        )
+    except ConfigError as exc:
+        print(f"config error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schema": "repro.eval/v1",
+                    "version": __version__,
+                    "experiment": run.plan.config.experiment_id,
+                    "config": args.config,
+                    "cells": len(run.plan),
+                    "executed": run.executed,
+                    "resumed": run.resumed,
+                    "elapsed_s": run.elapsed_s,
+                    "cache_dir": run.cache_dir,
+                    "report": str(report_path),
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(run.plan.describe())
+        for r in run.results:
+            status = "resumed " if r.cached else "executed"
+            print(
+                f"  {status}  {r.cell.cell_id}  "
+                f"[{r.cell.short_hash}]  {r.elapsed_s:.3f}s"
+            )
+        print(
+            f"{run.executed} executed, {run.resumed} resumed "
+            f"({run.elapsed_s:.2f}s wall clock)"
+        )
+        print(f"report: {report_path}")
+    return 0
 
 
 def _cmd_serve(args) -> int:
@@ -433,6 +531,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "eval":
+            return _cmd_eval(args)
         if args.command == "run":
             scale = SCALES[args.scale] if args.scale else None
             fig = ALL_EXPERIMENTS[args.experiment](scale)

@@ -1,0 +1,154 @@
+"""TOML loading without new dependencies.
+
+Python >= 3.11 ships :mod:`tomllib`; the repo still supports 3.10, and the
+container policy forbids installing a backport.  :func:`loads` uses the
+stdlib parser when present and otherwise falls back to a small parser for
+the well-formed subset the ``configs/*.toml`` schema actually uses:
+
+* ``[section]`` and ``[section.sub]`` tables,
+* ``key = value`` with string / int / float / bool scalars,
+* single-line arrays of those scalars (trailing comma tolerated),
+* ``#`` comments and blank lines.
+
+The fallback is deliberately strict — anything outside the subset raises
+``ValueError`` rather than guessing — and the eval test-suite pins it
+against ``tomllib`` on every shipped config whenever both are available.
+"""
+
+from __future__ import annotations
+
+import re
+
+try:  # Python >= 3.11
+    import tomllib as _tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 only
+    _tomllib = None
+
+__all__ = ["loads", "parse_toml_subset", "HAVE_TOMLLIB"]
+
+HAVE_TOMLLIB = _tomllib is not None
+
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def loads(text: str) -> dict:
+    """Parse TOML text into nested dicts (stdlib when available)."""
+    if _tomllib is not None:
+        return _tomllib.loads(text)
+    return parse_toml_subset(text)
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment that is not inside a quoted string."""
+    out = []
+    in_str: str | None = None
+    for ch in line:
+        if in_str:
+            out.append(ch)
+            if ch == in_str:
+                in_str = None
+        elif ch in "\"'":
+            out.append(ch)
+            in_str = ch
+        elif ch == "#":
+            break
+        else:
+            out.append(ch)
+    return "".join(out).strip()
+
+
+def _parse_scalar(token: str, where: str):
+    token = token.strip()
+    if not token:
+        raise ValueError(f"{where}: empty value")
+    if token[0] in "\"'":
+        if len(token) < 2 or token[-1] != token[0]:
+            raise ValueError(f"{where}: unterminated string {token!r}")
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        raise ValueError(
+            f"{where}: unsupported value {token!r} (fallback TOML parser "
+            "accepts strings, ints, floats, bools, and flat arrays)"
+        ) from None
+
+
+def _split_array_items(body: str, where: str) -> list[str]:
+    items, depth, cur, in_str = [], 0, [], None
+    for ch in body:
+        if in_str:
+            cur.append(ch)
+            if ch == in_str:
+                in_str = None
+        elif ch in "\"'":
+            cur.append(ch)
+            in_str = ch
+        elif ch == "[":
+            depth += 1
+            raise ValueError(f"{where}: nested arrays are not supported")
+        elif ch == "]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            items.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    items.append("".join(cur))
+    return [i for i in (item.strip() for item in items) if i]
+
+
+def _parse_value(token: str, where: str):
+    token = token.strip()
+    if token.startswith("["):
+        if not token.endswith("]"):
+            raise ValueError(
+                f"{where}: arrays must open and close on one line"
+            )
+        return [
+            _parse_scalar(item, where)
+            for item in _split_array_items(token[1:-1], where)
+        ]
+    return _parse_scalar(token, where)
+
+
+def parse_toml_subset(text: str) -> dict:
+    """Parse the supported TOML subset (see module docstring)."""
+    root: dict = {}
+    table = root
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}"
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        if line.startswith("["):
+            if not line.endswith("]") or line.startswith("[["):
+                raise ValueError(f"{where}: malformed table header {line!r}")
+            path = line[1:-1].strip()
+            table = root
+            for part in path.split("."):
+                part = part.strip()
+                if not _BARE_KEY.match(part):
+                    raise ValueError(f"{where}: malformed table name {path!r}")
+                table = table.setdefault(part, {})
+                if not isinstance(table, dict):
+                    raise ValueError(f"{where}: {path!r} redefines a value")
+            continue
+        if "=" not in line:
+            raise ValueError(f"{where}: expected 'key = value', got {line!r}")
+        key, _, value = line.partition("=")
+        key = key.strip().strip("\"'")
+        if not _BARE_KEY.match(key):
+            raise ValueError(f"{where}: malformed key {key!r}")
+        if key in table:
+            raise ValueError(f"{where}: duplicate key {key!r}")
+        table[key] = _parse_value(value, where)
+    return root

@@ -46,44 +46,23 @@ from .headline import PAPER_SPEEDUPS, run_headline
 from .large_scale import run_fig10, run_fig10_outofcore
 from .ascii_plot import ascii_plot
 from .results import CurveSeries, FigureResult
+from .serving_fig import run_serving
+from . import registry
+from .registry import REGISTRY, DriverSpec, get_driver, run_driver
 
-#: registry used by the EXPERIMENTS.md generator and the bench harness
-ALL_EXPERIMENTS = {
-    "fig1": run_fig1,
-    "fig2": run_fig2,
-    "fig3-primal": lambda scale=None: run_fig3("primal", scale),
-    "fig3-dual": lambda scale=None: run_fig3("dual", scale),
-    "fig4-primal": lambda scale=None: run_fig4("primal", scale),
-    "fig4-dual": lambda scale=None: run_fig4("dual", scale),
-    "fig5-primal": lambda scale=None: run_fig5("primal", scale),
-    "fig5-dual": lambda scale=None: run_fig5("dual", scale),
-    "fig6-primal": lambda scale=None: run_fig6("primal", scale),
-    "fig6-dual": lambda scale=None: run_fig6("dual", scale),
-    "fig8-m4000": lambda scale=None: run_fig8("m4000", scale),
-    "fig8-titanx": lambda scale=None: run_fig8("titanx", scale),
-    "fig9": run_fig9,
-    "fig10": run_fig10,
-    "fig10-outofcore": run_fig10_outofcore,
-    "headline": run_headline,
-    "ablation-wave": run_wave_ablation,
-    "ablation-gpu-write": run_gpu_write_ablation,
-    "ablation-aggregation": run_aggregation_ablation,
-    "ablation-precision": run_precision_ablation,
-    "ablation-pcie": run_pcie_ablation,
-    "ext-smart-partition": run_smart_partition,
-    "ext-comm-tradeoff": run_comm_tradeoff,
-    "ext-sigma-sweep": run_sigma_sweep,
-    "ext-async-vs-sync": run_async_vs_sync,
-    "ext-heterogeneous": run_heterogeneous_cluster,
-    "ext-glm-gpu": run_glm_gpu,
-    "ext-batch-vs-stochastic": run_batch_vs_stochastic,
-    "ext-weak-scaling": run_weak_scaling,
-    "ext-fault-tolerance": run_fault_tolerance,
-    "ext-fault-breakdown": run_fault_breakdown,
-}
+#: id -> bare callable, derived from the single driver registry
+#: (:mod:`repro.experiments.registry`); the CLI, the EXPERIMENTS.md
+#: generator, and the bench harness all discover drivers from there
+ALL_EXPERIMENTS = {spec.driver_id: spec.fn for spec in REGISTRY.values()}
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "REGISTRY",
+    "DriverSpec",
+    "get_driver",
+    "run_driver",
+    "registry",
+    "run_serving",
     "CurveSeries",
     "FigureResult",
     "ascii_plot",

@@ -54,9 +54,28 @@ def _engine(k: int, scenario: str, *, seed: int = 7) -> DistributedSCD:
     )
 
 
-def run_fault_tolerance(scale: ScaleConfig | None = None) -> FigureResult:
-    """Gap vs epoch under each fault scenario (K=8, dual, adaptive)."""
+def _select_scenarios(scenario: str | None) -> tuple[str, ...]:
+    """One scenario (plus the fault-free baseline) or the full sweep."""
+    if scenario is None:
+        return FAULT_SCENARIOS
+    if scenario not in FAULT_SCENARIOS:
+        raise ValueError(
+            f"unknown fault scenario {scenario!r}; "
+            f"expected one of {list(FAULT_SCENARIOS)}"
+        )
+    return tuple(dict.fromkeys(("none", scenario)))
+
+
+def run_fault_tolerance(
+    scale: ScaleConfig | None = None, *, scenario: str | None = None
+) -> FigureResult:
+    """Gap vs epoch under each fault scenario (K=8, dual, adaptive).
+
+    ``scenario`` restricts the sweep to one named scenario against the
+    fault-free baseline — the axis ``repro.eval`` configs sweep over.
+    """
     scale = scale or active_scale()
+    scenarios = _select_scenarios(scenario)
     problem, _ = webspam_problem(scale)
     n_epochs = epochs(30, scale)
     fig = FigureResult(
@@ -65,9 +84,13 @@ def run_fault_tolerance(scale: ScaleConfig | None = None) -> FigureResult:
             "Duality gap under injected faults "
             "(K=8, dual, adaptive gamma over survivors)"
         ),
-        meta={"n_epochs": n_epochs, "fault_seed": FAULT_SEED},
+        meta={
+            "n_epochs": n_epochs,
+            "fault_seed": FAULT_SEED,
+            "scenarios": list(scenarios),
+        },
     )
-    for scenario in FAULT_SCENARIOS:
+    for scenario in scenarios:
         res = _engine(8, scenario).solve(problem, n_epochs)
         fig.add(
             CurveSeries(
@@ -90,20 +113,27 @@ def run_fault_tolerance(scale: ScaleConfig | None = None) -> FigureResult:
     return fig
 
 
-def run_fault_breakdown(scale: ScaleConfig | None = None) -> FigureResult:
-    """Fig. 9-style time breakdown with fault phases, chaos scenario."""
+def run_fault_breakdown(
+    scale: ScaleConfig | None = None, *, scenario: str = "chaos"
+) -> FigureResult:
+    """Fig. 9-style time breakdown with fault phases (default: chaos)."""
     scale = scale or active_scale()
+    if scenario not in FAULT_SCENARIOS:
+        raise ValueError(
+            f"unknown fault scenario {scenario!r}; "
+            f"expected one of {list(FAULT_SCENARIOS)}"
+        )
     problem, _ = webspam_problem(scale)
     n_epochs = epochs(20, scale)
     worker_counts = (2, 4, 8)
     fig = FigureResult(
         figure_id="ext-fault-breakdown",
-        title="Execution-time breakdown under the 'chaos' scenario (dual)",
-        meta={"n_epochs": n_epochs, "scenario": "chaos", "fault_seed": FAULT_SEED},
+        title=f"Execution-time breakdown under the {scenario!r} scenario (dual)",
+        meta={"n_epochs": n_epochs, "scenario": scenario, "fault_seed": FAULT_SEED},
     )
     breakdowns = {}
     for k in worker_counts:
-        res = _engine(k, "chaos").solve(problem, n_epochs)
+        res = _engine(k, scenario).solve(problem, n_epochs)
         breakdowns[k] = res.ledger.breakdown()
     ks = np.asarray(worker_counts, dtype=float)
     for comp in COMPONENTS:

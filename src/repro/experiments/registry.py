@@ -1,0 +1,294 @@
+"""The single experiment-driver registry.
+
+Every figure, ablation, extension, and scenario driver registers here once,
+with the metadata the orchestration layers need:
+
+* the public ``driver_id`` (``fig1``, ``ext-fault-tolerance``, ``serving``),
+* a one-line title for reports and listings,
+* the callable (``fn(scale=None, **params) -> FigureResult``),
+* the *sweepable* keyword parameters the driver accepts beyond ``scale`` —
+  the axes a ``repro.eval`` config may put in its ``[matrix]``.
+
+Both the ``repro.eval`` subsystem and ``tools/generate_experiments_md.py``
+discover drivers from this table (and the CLI's ``ALL_EXPERIMENTS`` mapping
+is derived from it), so adding a driver means one :func:`register` call —
+not another bespoke import site in every orchestration script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .results import FigureResult
+
+__all__ = [
+    "DriverSpec",
+    "REGISTRY",
+    "register",
+    "get_driver",
+    "driver",
+    "driver_ids",
+    "run_driver",
+]
+
+
+@dataclass(frozen=True)
+class DriverSpec:
+    """One registered experiment driver and its sweepable surface."""
+
+    driver_id: str
+    title: str
+    fn: Callable[..., FigureResult] = field(repr=False)
+    #: grouping used by listings: figure | ablation | extension | scenario
+    kind: str = "figure"
+    #: keyword parameters (beyond ``scale``) a sweep axis may bind
+    params: tuple[str, ...] = ()
+
+    def run(self, scale=None, **params) -> FigureResult:
+        """Invoke the driver, rejecting parameters it never declared."""
+        unknown = sorted(set(params) - set(self.params))
+        if unknown:
+            raise TypeError(
+                f"driver {self.driver_id!r} does not accept parameter(s) "
+                f"{unknown}; declared sweepable params: {list(self.params)}"
+            )
+        return self.fn(scale, **params)
+
+
+#: driver_id -> spec, in registration (presentation) order
+REGISTRY: dict[str, DriverSpec] = {}
+
+
+def register(
+    driver_id: str,
+    title: str,
+    fn: Callable[..., FigureResult],
+    *,
+    kind: str = "figure",
+    params: tuple[str, ...] = (),
+) -> DriverSpec:
+    """Register one driver; duplicate ids are a programming error."""
+    if driver_id in REGISTRY:
+        raise ValueError(f"driver {driver_id!r} is already registered")
+    spec = DriverSpec(driver_id, title, fn, kind=kind, params=params)
+    REGISTRY[driver_id] = spec
+    return spec
+
+
+def unregister(driver_id: str) -> None:
+    """Remove a registered driver (test scaffolding)."""
+    REGISTRY.pop(driver_id, None)
+
+
+def get_driver(driver_id: str) -> DriverSpec:
+    """Resolve ``driver_id`` or fail with the list of known ids."""
+    try:
+        return REGISTRY[driver_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment driver {driver_id!r}; known drivers: "
+            f"{', '.join(sorted(REGISTRY))}"
+        ) from None
+
+
+def driver(driver_id: str) -> Callable[..., FigureResult]:
+    """The bare callable for ``driver_id`` (benchmarks use this)."""
+    return get_driver(driver_id).fn
+
+
+def driver_ids(kind: str | None = None) -> list[str]:
+    """All registered ids, optionally restricted to one ``kind``."""
+    return [
+        spec.driver_id
+        for spec in REGISTRY.values()
+        if kind is None or spec.kind == kind
+    ]
+
+
+def run_driver(driver_id: str, scale=None, **params) -> FigureResult:
+    """One-call convenience: resolve and run."""
+    return get_driver(driver_id).run(scale, **params)
+
+
+def _populate() -> None:
+    """Register the built-in drivers (import-cycle-free, called once)."""
+    from .ablations import (
+        run_aggregation_ablation,
+        run_gpu_write_ablation,
+        run_pcie_ablation,
+        run_precision_ablation,
+        run_wave_ablation,
+    )
+    from .convergence import run_fig1, run_fig2
+    from .distributed_figs import run_fig3, run_fig4, run_fig5, run_fig6
+    from .extensions import (
+        run_async_vs_sync,
+        run_batch_vs_stochastic,
+        run_comm_tradeoff,
+        run_glm_gpu,
+        run_heterogeneous_cluster,
+        run_sigma_sweep,
+        run_smart_partition,
+        run_weak_scaling,
+    )
+    from .faults import run_fault_breakdown, run_fault_tolerance
+    from .gpu_cluster import run_fig8, run_fig9
+    from .headline import run_headline
+    from .large_scale import run_fig10, run_fig10_outofcore
+    from .serving_fig import run_serving
+
+    def _form(fn, formulation):
+        def _run(scale=None):
+            return fn(formulation, scale)
+
+        _run.__name__ = f"{fn.__name__}_{formulation}"
+        return _run
+
+    register("fig1", "Fig. 1 — primal convergence (five solvers)", run_fig1)
+    register("fig2", "Fig. 2 — dual convergence (five solvers)", run_fig2)
+    for formulation in ("primal", "dual"):
+        tag = formulation
+        register(
+            f"fig3-{tag}",
+            f"Fig. 3 — distributed SCD vs epochs ({tag})",
+            _form(run_fig3, formulation),
+        )
+        register(
+            f"fig4-{tag}",
+            f"Fig. 4 — adaptive vs averaging aggregation ({tag})",
+            _form(run_fig4, formulation),
+        )
+        register(
+            f"fig5-{tag}",
+            f"Fig. 5 — optimal gamma evolution ({tag})",
+            _form(run_fig5, formulation),
+        )
+        register(
+            f"fig6-{tag}",
+            f"Fig. 6 — time to gap vs workers ({tag})",
+            _form(run_fig6, formulation),
+        )
+
+    def _cluster(cluster):
+        def _run(scale=None):
+            return run_fig8(cluster, scale)
+
+        _run.__name__ = f"run_fig8_{cluster}"
+        return _run
+
+    register("fig8-m4000", "Fig. 8a — M4000 cluster (10 GbE)", _cluster("m4000"))
+    register("fig8-titanx", "Fig. 8b — Titan X cluster (PCIe)", _cluster("titanx"))
+    register("fig9", "Fig. 9 — computation vs communication breakdown", run_fig9)
+    register("fig10", "Fig. 10 — criteo-like large-scale training", run_fig10)
+    register(
+        "fig10-outofcore",
+        "Fig. 10 (out-of-core) — 40 GB footprint on one 12 GB GPU",
+        run_fig10_outofcore,
+    )
+    register("headline", "Headline speedups (abstract / Sections I & VI)", run_headline)
+
+    register(
+        "ablation-wave",
+        "Ablation — wave size vs convergence and throughput",
+        run_wave_ablation,
+        kind="ablation",
+    )
+    register(
+        "ablation-gpu-write",
+        "Ablation — GPU global-write strategies",
+        run_gpu_write_ablation,
+        kind="ablation",
+    )
+    register(
+        "ablation-aggregation",
+        "Ablation — aggregation policies",
+        run_aggregation_ablation,
+        kind="ablation",
+    )
+    register(
+        "ablation-precision",
+        "Ablation — fp32 vs fp64 accumulation",
+        run_precision_ablation,
+        kind="ablation",
+    )
+    register(
+        "ablation-pcie",
+        "Ablation — PCIe generation sensitivity",
+        run_pcie_ablation,
+        kind="ablation",
+    )
+
+    register(
+        "ext-smart-partition",
+        "Extension — correlation-aware partitioning",
+        run_smart_partition,
+        kind="extension",
+    )
+    register(
+        "ext-comm-tradeoff",
+        "Extension — aggregation granularity vs fabric",
+        run_comm_tradeoff,
+        kind="extension",
+    )
+    register(
+        "ext-sigma-sweep",
+        "Extension — sigma' scaling sweep",
+        run_sigma_sweep,
+        kind="extension",
+    )
+    register(
+        "ext-async-vs-sync",
+        "Extension — asynchronous vs synchronous updates",
+        run_async_vs_sync,
+        kind="extension",
+    )
+    register(
+        "ext-heterogeneous",
+        "Extension — heterogeneous GPU cluster",
+        run_heterogeneous_cluster,
+        kind="extension",
+    )
+    register(
+        "ext-glm-gpu",
+        "Extension — TPA engine on elastic-net and SVM GLMs",
+        run_glm_gpu,
+        kind="extension",
+    )
+    register(
+        "ext-batch-vs-stochastic",
+        "Extension — batch vs stochastic methods",
+        run_batch_vs_stochastic,
+        kind="extension",
+    )
+    register(
+        "ext-weak-scaling",
+        "Extension — weak scaling as data grows with K",
+        run_weak_scaling,
+        kind="extension",
+    )
+    register(
+        "ext-fault-tolerance",
+        "Extension — duality gap under injected fault scenarios",
+        run_fault_tolerance,
+        kind="extension",
+        params=("scenario",),
+    )
+    register(
+        "ext-fault-breakdown",
+        "Extension — execution-time breakdown under faults",
+        run_fault_breakdown,
+        kind="extension",
+        params=("scenario",),
+    )
+
+    register(
+        "serving",
+        "Online serving — train-to-serve hot-swap under seeded traffic",
+        run_serving,
+        kind="scenario",
+        params=("solver", "seed"),
+    )
+
+
+_populate()

@@ -78,6 +78,18 @@ class CurveSeries:
             "meta": _jsonify(self.meta),
         }
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CurveSeries":
+        """Inverse of :meth:`to_dict` (used by the eval result cache)."""
+        return cls(
+            label=doc["label"],
+            x=np.asarray(doc["x"], dtype=np.float64),
+            y=np.asarray(doc["y"], dtype=np.float64),
+            x_name=doc.get("x_name", "x"),
+            y_name=doc.get("y_name", "y"),
+            meta=dict(doc.get("meta", {})),
+        )
+
 
 @dataclass
 class FigureResult:
@@ -110,6 +122,17 @@ class FigureResult:
             "notes": list(self.notes),
             "meta": _jsonify(self.meta),
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FigureResult":
+        """Inverse of :meth:`to_dict` (used by the eval result cache)."""
+        return cls(
+            figure_id=doc["figure_id"],
+            title=doc.get("title", ""),
+            series=[CurveSeries.from_dict(s) for s in doc.get("series", [])],
+            notes=list(doc.get("notes", [])),
+            meta=dict(doc.get("meta", {})),
+        )
 
     # -- rendering --------------------------------------------------------
     def render_text(self, *, max_rows: int = 12) -> str:

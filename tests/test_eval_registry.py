@@ -1,0 +1,58 @@
+"""The shared driver registry that repro.eval and the CLI both consume."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.registry import (
+    REGISTRY,
+    driver,
+    driver_ids,
+    get_driver,
+    run_driver,
+)
+
+
+def test_all_experiments_is_derived_from_the_registry():
+    assert set(ALL_EXPERIMENTS) == set(REGISTRY)
+    for driver_id, fn in ALL_EXPERIMENTS.items():
+        assert fn is REGISTRY[driver_id].fn
+
+
+def test_known_figures_registered():
+    for driver_id in ("fig1", "fig9", "fig10-outofcore", "headline", "serving"):
+        assert driver_id in REGISTRY
+
+
+def test_kinds_partition_the_registry():
+    kinds = {spec.kind for spec in REGISTRY.values()}
+    assert kinds == {"figure", "ablation", "extension", "scenario"}
+    assert len(driver_ids("ablation")) == 5
+    assert len(driver_ids()) == len(REGISTRY)
+
+
+def test_get_driver_unknown_id_lists_known_drivers():
+    with pytest.raises(KeyError, match="unknown experiment driver 'nope'"):
+        get_driver("nope")
+
+
+def test_driver_returns_bare_callable():
+    assert driver("fig1") is REGISTRY["fig1"].fn
+
+
+def test_undeclared_param_rejected_before_running():
+    with pytest.raises(TypeError, match="does not accept parameter"):
+        get_driver("fig1").run(wave=4)
+
+
+def test_sweepable_params_declared_on_sweep_drivers():
+    assert get_driver("ext-fault-tolerance").params == ("scenario",)
+    assert get_driver("serving").params == ("solver", "seed")
+
+
+def test_run_driver_end_to_end():
+    from repro.experiments.config import SCALES
+
+    fig = run_driver("ext-fault-breakdown", SCALES["tiny"], scenario="chaos")
+    assert fig.series

@@ -1,44 +1,63 @@
 #!/usr/bin/env python
 """Regenerate EXPERIMENTS.md: paper-vs-measured for every figure.
 
-Runs every experiment driver at the active scale (REPRO_SCALE, default
-quick) and writes a per-figure summary with the key quantities compared
-against the published values.
+All drivers run through the shared ``repro.eval`` runner (the same registry,
+content-hash cache, and spans as ``repro eval``), so a generator run after a
+``repro eval`` sweep resumes every already-computed cell instead of
+recomputing it.  The document ends with a provenance footer recording the
+commit, scale, and seeds that produced it.
 
-Run:  python tools/generate_experiments_md.py
+Run:  python tools/generate_experiments_md.py [--jobs N] [--force]
 """
 
 from __future__ import annotations
 
+import argparse
 import math
 import sys
 from pathlib import Path
 
 import numpy as np
 
-from repro.experiments import (
-    EPS_TARGETS,
-    SOLVER_LABELS,
-    active_scale,
-    run_all_ablations,
-    run_async_vs_sync,
-    run_batch_vs_stochastic,
-    run_weak_scaling,
-    run_comm_tradeoff,
-    run_convergence,
-    run_fig3,
-    run_fig4,
-    run_fig5,
-    run_fig6,
-    run_fig8,
-    run_fig9,
-    run_fig10,
-    run_fig10_outofcore,
-    run_glm_gpu,
-    run_headline,
-    run_heterogeneous_cluster,
-    run_sigma_sweep,
-    run_smart_partition,
+from repro.eval import collect_provenance, markdown_footer, run_drivers
+from repro.experiments import EPS_TARGETS, SOLVER_LABELS, active_scale
+from repro.experiments.registry import REGISTRY
+
+#: extension drivers in document order (the sweepable fault drivers are
+#: covered by configs/faults.toml rather than this summary)
+_EXTENSION_IDS = (
+    "ext-smart-partition",
+    "ext-comm-tradeoff",
+    "ext-sigma-sweep",
+    "ext-async-vs-sync",
+    "ext-heterogeneous",
+    "ext-glm-gpu",
+    "ext-batch-vs-stochastic",
+    "ext-weak-scaling",
+)
+
+_ABLATION_IDS = tuple(
+    d.driver_id for d in REGISTRY.values() if d.kind == "ablation"
+)
+
+_FIGURE_IDS = (
+    "fig1",
+    "fig2",
+    "fig3-primal",
+    "fig3-dual",
+    "fig4-primal",
+    "fig4-dual",
+    "fig5-primal",
+    "fig5-dual",
+    "fig6-primal",
+    "fig6-dual",
+    "fig8-m4000",
+    "fig8-titanx",
+    "fig9",
+    "fig10",
+    "fig10-outofcore",
+    "headline",
+    "serving",
 )
 
 
@@ -106,43 +125,42 @@ def kernel_runtime_section() -> list[str]:
     return lines
 
 
-def serving_section() -> list[str]:
-    """The train-to-serve acceptance demo, same harness as ``repro serve``."""
-    from repro.serve import train_to_serve
-
-    report = train_to_serve()
+def serving_section(fig) -> list[str]:
+    """The train-to-serve acceptance demo, from the ``serving`` driver."""
+    m = fig.meta
+    before = fig.get("staleness before swap")
+    after = fig.get("staleness after swap")
     swaps = "; ".join(
-        f"v{v}: {before}->{after}"
-        for v, before, after in report.staleness_at_swaps
+        f"v{int(v)}: {int(b)}->{int(a)}"
+        for v, b, a in zip(before.x, before.y, after.y)
     )
     return [
         "## Online serving (train-to-serve, `python -m repro serve`)",
         "",
-        "One seeded run trains ridge SCD, publishes every 3rd epoch's model "
+        "One seeded run trains ridge SCD, publishes every few epochs' model "
         "as a versioned snapshot, hot-swaps the versions into a model server "
         "under seeded Poisson traffic on the modelled clock, and audits "
         "every response bitwise against the offline `X @ w` oracle "
         "(`docs/serving.md`):",
         "",
-        f"- requests: {report.n_requests} served {report.n_served}, "
-        f"shed {report.n_shed}; zero dropped by a swap ✓",
-        f"- versions published {report.versions_published}, served "
-        f"{report.versions_served} (>= 3 distinct versions ✓)",
+        f"- requests: {m['n_requests']} served {m['n_served']}, "
+        f"shed {m['n_shed']}; zero dropped by a swap ✓",
+        f"- versions published {m['versions_published']}, served "
+        f"{m['versions_served']} (>= 3 distinct versions ✓)",
         "- version fingerprints: "
-        + " ".join(f"{fp:#010x}" for fp in report.fingerprints)
+        + " ".join(m["fingerprints"])
         + " — consecutive versions distinct ✓",
-        f"- oracle mismatches: {len(report.oracle_mismatches)} "
+        f"- oracle mismatches: {m['oracle_mismatches']} "
         "(every served score bitwise equal to the offline matvec ✓)",
         f"- staleness (epochs) before->after each swap: {swaps} — "
         "falls at every swap ✓",
-        f"- modelled latency: p50 {report.p50_latency_s * 1e3:.2f} ms, "
-        f"p99 {report.p99_latency_s * 1e3:.2f} ms",
+        f"- modelled latency: p50 {m['p50_latency_s'] * 1e3:.2f} ms, "
+        f"p99 {m['p99_latency_s'] * 1e3:.2f} ms",
         "",
     ]
 
 
-def convergence_section(lines, formulation, fig_no):
-    fig = run_convergence(formulation)
+def convergence_section(lines, fig, formulation, fig_no):
     seq = fig.get("SCD (1 thread) | time")
     eps = seq.y[len(seq.y) // 2] * 2
     t_seq = time_to(seq, eps)
@@ -185,7 +203,23 @@ def convergence_section(lines, formulation, fig_no):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="parallel cell workers (0 = cpu count, default)",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="recompute every driver, ignoring the eval cache",
+    )
+    args = parser.parse_args()
+
     scale = active_scale()
+    driver_ids = list(_FIGURE_IDS) + list(_ABLATION_IDS) + list(_EXTENSION_IDS)
+    figs = run_drivers(
+        driver_ids, scale=scale.name, jobs=args.jobs, force=args.force
+    )
+
     lines: list[str] = [
         "# EXPERIMENTS — paper vs measured",
         "",
@@ -203,12 +237,12 @@ def main() -> None:
         "",
     ]
 
-    convergence_section(lines, "primal", 1)
-    convergence_section(lines, "dual", 2)
+    convergence_section(lines, figs["fig1"], "primal", 1)
+    convergence_section(lines, figs["fig2"], "dual", 2)
 
     # Fig 3
     for formulation in ("primal", "dual"):
-        fig = run_fig3(formulation)
+        fig = figs[f"fig3-{formulation}"]
         lines += [
             f"## Fig. 3{'a' if formulation == 'primal' else 'b'} — distributed "
             f"SCD vs epochs ({formulation})",
@@ -230,7 +264,7 @@ def main() -> None:
 
     # Fig 4
     for formulation in ("primal", "dual"):
-        fig = run_fig4(formulation)
+        fig = figs[f"fig4-{formulation}"]
         avg, ada = fig.get("Averaging Aggregation"), fig.get("Adaptive Aggregation")
         eps = max(avg.final() * 2, 1e-14)
         e_avg = next((x for x, g in zip(avg.x, avg.y) if g <= eps), math.inf)
@@ -249,7 +283,7 @@ def main() -> None:
 
     # Fig 5
     for formulation in ("primal", "dual"):
-        fig = run_fig5(formulation)
+        fig = figs[f"fig5-{formulation}"]
         lines += [
             f"## Fig. 5{'a' if formulation == 'primal' else 'b'} — optimal "
             f"gamma evolution ({formulation})",
@@ -270,7 +304,7 @@ def main() -> None:
 
     # Fig 6
     for formulation in ("primal", "dual"):
-        fig = run_fig6(formulation)
+        fig = figs[f"fig6-{formulation}"]
         lines += [
             f"## Fig. 6{'a' if formulation == 'primal' else 'b'} — time to "
             f"gap vs workers ({formulation})",
@@ -293,7 +327,7 @@ def main() -> None:
     # Fig 8
     for cluster, label in (("m4000", "8a — M4000 cluster (10 GbE)"),
                            ("titanx", "8b — Titan X cluster (PCIe)")):
-        fig = run_fig8(cluster)
+        fig = figs[f"fig8-{cluster}"]
         lines += [
             f"## Fig. {label}",
             "",
@@ -316,7 +350,7 @@ def main() -> None:
         ]
 
     # Fig 9
-    fig = run_fig9()
+    fig = figs["fig9"]
     lines += [
         "## Fig. 9 — computation vs communication, M4000 cluster (gap 1e-5)",
         "",
@@ -338,7 +372,7 @@ def main() -> None:
     ]
 
     # Fig 10
-    fig = run_fig10()
+    fig = figs["fig10"]
     tpa = fig.get("TPA-SCD (Titan X)")
     wild = fig.get("PASSCoDe (16 threads)")
     scd = fig.get("SCD (1 thread)")
@@ -360,7 +394,7 @@ def main() -> None:
     ]
 
     # Fig 10 out-of-core variant: defeat the memory gate by streaming shards
-    fig = run_fig10_outofcore()
+    fig = figs["fig10-outofcore"]
     resident = fig.get("TPA-SCD (resident)")
     streamed = fig.get("TPA-SCD (out-of-core, 40 GB / 12 GB)")
     lines += [
@@ -384,7 +418,7 @@ def main() -> None:
     ]
 
     # headline
-    fig = run_headline()
+    fig = figs["headline"]
     lines += [
         "## Headline speedups (abstract / Sections I & VI)",
         "",
@@ -399,7 +433,8 @@ def main() -> None:
 
     # ablations
     lines += ["## Ablations (design-choice probes, not paper figures)", ""]
-    for fig in run_all_ablations():
+    for driver_id in _ABLATION_IDS:
+        fig = figs[driver_id]
         finals = ", ".join(f"{s.label}: {fmt(s.final())}" for s in fig.series)
         lines.append(f"- **{fig.figure_id}** — {fig.title}. Final values: {finals}.")
         for note in fig.notes:
@@ -411,7 +446,7 @@ def main() -> None:
         "## Extensions (the future-work directions the paper names)",
         "",
     ]
-    fig = run_smart_partition()
+    fig = figs["ext-smart-partition"]
     lines.append(
         f"- **{fig.figure_id}** ([22], Sec. IV closing remark) — final gaps: "
         f"random {fmt(fig.get('random').final())} vs correlation-aware "
@@ -419,7 +454,7 @@ def main() -> None:
         "Correlated coordinates kept on one worker decouple the distributed "
         "sub-problems. ✓"
     )
-    fig = run_comm_tradeoff()
+    fig = figs["ext-comm-tradeoff"]
     lines.append(
         f"- **{fig.figure_id}** ([23]) — time-to-gap across aggregation "
         f"granularities {fig.meta['fractions']}: "
@@ -427,13 +462,13 @@ def main() -> None:
         f"100GbE {[fmt(v) for v in fig.get('100GbE').y]} s. The optimum is "
         "infrastructure dependent. ✓"
     )
-    fig = run_sigma_sweep()
+    fig = figs["ext-sigma-sweep"]
     lines.append(
         f"- **{fig.figure_id}** ([24]) — final gaps by sigma': "
         + ", ".join(f"{s.label}: {fmt(s.final())}" for s in fig.series)
         + ". Moderate scaling accelerates; adding diverges. ✓"
     )
-    fig = run_async_vs_sync()
+    fig = figs["ext-async-vs-sync"]
     lines.append(
         f"- **{fig.figure_id}** ([6]) — time to gap {fmt(fig.meta['target'])}: "
         f"sync {fmt(fig.get('synchronous (averaging)').meta['time_to_target'])} s, "
@@ -441,14 +476,14 @@ def main() -> None:
         f"async(1/4) diverges. Bounded staleness converges and hides "
         "communication; coarse batches overshoot. ✓"
     )
-    fig = run_heterogeneous_cluster()
+    fig = figs["ext-heterogeneous"]
     lines.append(
         f"- **{fig.figure_id}** — time to gap {fmt(fig.meta['target'])} on a "
         f"TitanX+3xM4000 cluster: uniform "
         f"{fmt(fig.get('uniform').meta['time_to_target'])} s vs proportional "
         f"{fmt(fig.get('throughput-proportional').meta['time_to_target'])} s. ✓"
     )
-    fig = run_glm_gpu()
+    fig = figs["ext-glm-gpu"]
     lines.append(
         f"- **{fig.figure_id}** — the TPA engine generalized to the GLMs the "
         f"paper names: elastic-net KKT CPU "
@@ -457,7 +492,7 @@ def main() -> None:
         f"{fmt(fig.get('SVM CPU').final())} vs TPA "
         f"{fmt(fig.get('SVM TPA').final())} (fp32 floors). ✓"
     )
-    fig = run_batch_vs_stochastic()
+    fig = figs["ext-batch-vs-stochastic"]
     lines.append(
         f"- **{fig.figure_id}** (Sec. I motivation) — final gaps at equal "
         f"per-epoch data traffic: SCD {fmt(fig.get('SCD (Algorithm 1)').final())}, "
@@ -467,7 +502,7 @@ def main() -> None:
         f"{fmt(fig.get('Hogwild (16 threads)').final())}. SCD's linear rate "
         f"dominates — the reason the paper builds on coordinate descent. ✓"
     )
-    fig = run_weak_scaling()
+    fig = figs["ext-weak-scaling"]
     gpu = fig.get("distributed TPA-SCD (K workers)").y
     cpu = fig.get("sequential CPU (same growing data)").y
     lines.append(
@@ -479,7 +514,9 @@ def main() -> None:
     lines.append("")
 
     lines += kernel_runtime_section()
-    lines += serving_section()
+    lines += serving_section(figs["serving"])
+
+    lines += markdown_footer(collect_provenance(seeds=[0]))
 
     out = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
     out.write_text("\n".join(lines), encoding="utf-8")
