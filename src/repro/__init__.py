@@ -74,6 +74,7 @@ from .solvers import (
     ScdSolver,
     SequentialSCD,
     SvmSdca,
+    SySCD,
     TrainResult,
     elastic_net_path,
     lambda_grid,
@@ -129,6 +130,7 @@ __all__ = [
     "PASSCoDeWild",
     "ScdSolver",
     "SequentialSCD",
+    "SySCD",
     "TrainResult",
     "ElasticNetCD",
     "elastic_net_path",

@@ -34,6 +34,7 @@ from .perf.link import Link
 from .solvers.ascd import ASCD, PASSCoDeWild
 from .solvers.base import TrainResult
 from .solvers.scd import SequentialKernelFactory, SequentialSCD
+from .solvers.syscd import SySCD
 
 __all__ = ["SolverConfig", "train", "SOLVER_ALIASES", "SvmTrainResult"]
 
@@ -56,6 +57,11 @@ class SolverConfig:
     # -- async CPU solvers --------------------------------------------------
     n_threads: int = 16
     loss_prob: float = 0.15
+    # -- syscd CPU solver ---------------------------------------------------
+    bucket_size: int | None = None
+    merge_every: int = 1
+    merge: str = "sum"
+    kernel_backend: str = "auto"
     # -- simulated GPU ------------------------------------------------------
     gpu: GpuSpec = GTX_TITAN_X
     gpu_threads: int = 256
@@ -86,6 +92,8 @@ SOLVER_ALIASES = {
     "ascd": "a-scd",
     "wild": "wild",
     "passcode-wild": "wild",
+    "syscd": "syscd",
+    "sy-scd": "syscd",
     "tpa-scd": "tpa-scd",
     "tpa": "tpa-scd",
     "gpu": "tpa-scd",
@@ -131,7 +139,7 @@ def train(
         :class:`~repro.objectives.SvmProblem` for ``solver="distributed-svm"``.
     solver:
         One of the names in :data:`SOLVER_ALIASES` — ``"seq"``, ``"a-scd"``,
-        ``"wild"``, ``"tpa-scd"``, ``"distributed"``, ``"mp"``,
+        ``"wild"``, ``"syscd"``, ``"tpa-scd"``, ``"distributed"``, ``"mp"``,
         ``"distributed-svm"``.
     config:
         A :class:`SolverConfig`; defaults to ``SolverConfig()``.  Any extra
@@ -172,6 +180,16 @@ def train(
             cfg.formulation,
             n_threads=cfg.n_threads,
             loss_prob=cfg.loss_prob,
+            seed=cfg.seed,
+        )
+    elif kind == "syscd":
+        engine = SySCD(
+            cfg.formulation,
+            n_threads=cfg.n_threads,
+            bucket_size=cfg.bucket_size,
+            merge_every=cfg.merge_every,
+            merge=cfg.merge,
+            kernel_backend=cfg.kernel_backend,
             seed=cfg.seed,
         )
     elif kind == "tpa-scd":

@@ -12,7 +12,7 @@ Usage::
     python -m repro shards pack out/          # pack a dataset into a shard set
     python -m repro shards info out/          # inspect a packed shard set
     python -m repro bench                     # pinned epoch micro-benchmarks
-    python -m repro bench --baseline BENCH_PR6.json   # + regression gate
+    python -m repro bench --baseline BENCH_PR9.json   # + regression gate
     python -m repro serve                     # train-to-serve hot-swap demo
     python -m repro eval configs/fig1.toml    # declarative eval -> HTML report
 """
@@ -181,7 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         metavar="PATH",
-        help="write the repro.bench/v1 payload to PATH (e.g. BENCH_PR6.json)",
+        help="write the repro.bench/v1 payload to PATH (e.g. BENCH_PR9.json)",
     )
     bench.add_argument(
         "--baseline",
@@ -413,7 +413,17 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .perf.bench import compare, load_payload, render_table, run_suite, write_payload
+    from pathlib import Path
+
+    from .perf.bench import (
+        compare,
+        find_baselines,
+        load_payload,
+        render_table,
+        render_trajectory,
+        run_suite,
+        write_payload,
+    )
 
     payload = run_suite(args.profile)
     print(render_table(payload))
@@ -422,6 +432,10 @@ def _cmd_bench(args) -> int:
         print(f"wrote {args.out}")
     if args.baseline:
         baseline = load_payload(args.baseline)
+        history = find_baselines(Path(args.baseline).resolve().parent)
+        if len(history) >= 2:
+            print()
+            print(render_trajectory(history))
         regressions = compare(payload, baseline, threshold=args.threshold)
         if regressions:
             print()

@@ -24,7 +24,7 @@ executes the cells.  The schema:
     [report]
     sections = ["figures", "ledger", "bench"]
     bench_profile = "default"        # repro.perf.bench profile for the dashboard
-    bench_baseline = "BENCH_PR6.json"
+    bench_baseline = "latest"        # newest committed BENCH_PR*.json, or a path
     bench_threshold = 0.4
     log_y = true                     # log-scale convergence plots
 
@@ -79,7 +79,10 @@ class ReportConfig:
 
     sections: tuple[str, ...] = REPORT_SECTIONS
     bench_profile: str = "default"
-    bench_baseline: str | None = "BENCH_PR6.json"
+    #: a payload path, or ``"latest"`` — resolved at report time to the
+    #: newest committed ``BENCH_PR*.json`` (numeric PR order), so the
+    #: dashboard never silently diffs against a stale landmark
+    bench_baseline: str | None = "latest"
     bench_threshold: float = 0.4
     log_y: bool = True
 
@@ -249,9 +252,11 @@ def parse_config(doc: dict, *, source: str = "<memory>") -> EvalConfig:
             f"[report] bench_profile {bench_profile!r} is not one of "
             f"{sorted(PROFILES)}",
         )
-    bench_baseline = report.get("bench_baseline", "BENCH_PR6.json")
+    bench_baseline = report.get("bench_baseline", "latest")
     if bench_baseline is not None and not isinstance(bench_baseline, str):
-        raise _err(source, "[report] bench_baseline must be a path string")
+        raise _err(
+            source, "[report] bench_baseline must be a path string or 'latest'"
+        )
     bench_threshold = report.get("bench_threshold", 0.4)
     if (
         not isinstance(bench_threshold, (int, float))

@@ -219,7 +219,10 @@ def _ledger_section(run: EvalRun) -> list[str]:
 
 
 def _bench_section(
-    run: EvalRun, bench_new: dict | None, bench_baseline: dict | None
+    run: EvalRun,
+    bench_new: dict | None,
+    bench_baseline: dict | None,
+    baseline_label: str | None = None,
 ) -> list[str]:
     """Bench-regression dashboard: this machine vs the committed baseline."""
     from ..perf.bench import _GATED_CASES, compare
@@ -251,9 +254,10 @@ def _bench_section(
             if regressions
             else '<span class="status-icon">✓</span>no regressions'
         )
+        label = baseline_label or report.bench_baseline or ""
         out.append(
             f'<p class="note">Profile <code>{escape(bench_new["profile"])}'
-            f"</code> vs baseline <code>{escape(report.bench_baseline or '')}"
+            f"</code> vs baseline <code>{escape(label)}"
             f"</code> (threshold {report.bench_threshold * 100:.0f}%): "
             f"{gate}.</p>"
         )
@@ -292,6 +296,7 @@ def build_report(
     *,
     bench_new: dict | None = None,
     bench_baseline: dict | None = None,
+    bench_baseline_label: str | None = None,
 ) -> str:
     """Assemble the full HTML document for one eval run."""
     config = run.plan.config
@@ -308,7 +313,9 @@ def build_report(
     if "ledger" in report.sections:
         body += _ledger_section(run)
     if "bench" in report.sections:
-        body += _bench_section(run, bench_new, bench_baseline)
+        body += _bench_section(
+            run, bench_new, bench_baseline, bench_baseline_label
+        )
     prov = collect_provenance(seeds=[r.cell.seed for r in run.results])
     body.append(html_footer(prov))
     return (
@@ -333,18 +340,31 @@ def render_report(
     When the config enables the ``bench`` section, the micro-benchmark suite
     runs here (report time), and the committed baseline named by
     ``[report] bench_baseline`` is loaded relative to the current directory.
+    The default value ``"latest"`` resolves to the newest committed
+    ``BENCH_PR*.json`` (numeric PR order) so the dashboard always diffs
+    against the current landmark, not a hard-coded historical one.
     """
     config = run.plan.config
     bench_new = bench_baseline = None
+    baseline_label = None
     if run_bench and "bench" in config.report.sections:
-        from ..perf.bench import load_payload, run_suite
+        from ..perf.bench import latest_baseline, load_payload, run_suite
 
         bench_new = run_suite(config.report.bench_profile)
-        if config.report.bench_baseline:
-            base_path = Path(config.report.bench_baseline)
-            if base_path.exists():
-                bench_baseline = load_payload(base_path)
-    html = build_report(run, bench_new=bench_new, bench_baseline=bench_baseline)
+        requested = config.report.bench_baseline
+        base_path = (
+            latest_baseline(".") if requested == "latest"
+            else Path(requested) if requested else None
+        )
+        if base_path is not None and base_path.exists():
+            bench_baseline = load_payload(base_path)
+            baseline_label = base_path.name
+    html = build_report(
+        run,
+        bench_new=bench_new,
+        bench_baseline=bench_baseline,
+        bench_baseline_label=baseline_label,
+    )
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     path = out / f"{config.experiment_id}.html"

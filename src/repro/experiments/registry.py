@@ -137,6 +137,7 @@ def _populate() -> None:
     from .headline import run_headline
     from .large_scale import run_fig10, run_fig10_outofcore
     from .serving_fig import run_serving
+    from .syscd_fig import run_syscd_scaling
 
     def _form(fn, formulation):
         def _run(scale=None):
@@ -288,6 +289,14 @@ def _populate() -> None:
         run_serving,
         kind="scenario",
         params=("solver", "seed"),
+    )
+
+    register(
+        "syscd",
+        "SySCD — bucketed parallel CPU solver thread scaling (measured)",
+        run_syscd_scaling,
+        kind="scenario",
+        params=("threads", "buckets", "merge_every"),
     )
 
 

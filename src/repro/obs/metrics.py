@@ -9,6 +9,12 @@ name                       meaning
 ``train.epochs``           epochs (aggregation rounds) executed
 ``scd.updates``            coordinate updates applied
 ``scd.lost_updates``       shared-vector updates lost to wild writes
+``syscd.buckets``          coordinate buckets processed
+``syscd.merges``           replica merge steps applied
+``syscd.merge_divergence`` (histogram) max replica drift at each epoch's
+                           merges (inf-norm of a thread's delta)
+``syscd.bucket_imbalance`` (gauge) max/mean per-thread nonzeros per epoch
+``syscd.threads``          (gauge) worker threads running the epoch
 ``gpu.waves``              thread-block waves scheduled
 ``gpu.nnz_processed``      nonzeros streamed through block kernels
 ``gpu.atomic_conflicts``   same-wave atomic adds hitting one element

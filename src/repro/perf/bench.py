@@ -14,11 +14,20 @@ suite of epoch micro-benchmarks over a fixed synthetic problem:
   averaging aggregation, simulated fabric);
 * ``serving`` — a full seeded traffic replay through the
   :class:`~repro.serve.server.ModelServer` (micro-batching + admission +
-  scoring), gating scored-rows-per-second of the online serving layer.
+  scoring), gating scored-rows-per-second of the online serving layer;
+* ``syscd_ref`` / ``syscd_threads`` — the SySCD solver's single-thread
+  exact numpy reference vs its bucketed multi-thread replica-merge path
+  (:mod:`repro.solvers.syscd`).  This pair is the repo's **measured**
+  (wall-clock, not modelled) parallel-speedup gate:
+  ``derived.syscd_measured_speedup`` must stay >= 2x at the profile's
+  thread count.
 
-``run_suite`` writes a ``repro.bench/v1`` payload (see ``BENCH_PR6.json`` at
-the repo root for the committed baseline) with the **median** wall-clock
-epoch time per case.  Machines differ, so the regression gate compares
+``run_suite`` writes a ``repro.bench/v1`` payload with the **median**
+wall-clock epoch time per case.  Baselines are committed at the repo root
+as ``BENCH_PR<k>.json`` — one per landmark PR (``BENCH_PR9.json`` is the
+newest); :func:`latest_baseline` resolves the current one and
+:func:`render_trajectory` shows how each case moved across them.
+Machines differ, so the regression gate compares
 *normalized relative throughput* — each case's epoch rate divided by the
 same run's ``sequential`` rate — which cancels the host's absolute speed:
 
@@ -32,6 +41,7 @@ same run's ``sequential`` rate — which cancels the host's absolute speed:
 from __future__ import annotations
 
 import json
+import re
 import statistics
 import time
 from dataclasses import dataclass
@@ -49,6 +59,9 @@ __all__ = [
     "load_payload",
     "write_payload",
     "render_table",
+    "find_baselines",
+    "latest_baseline",
+    "render_trajectory",
 ]
 
 BENCH_SCHEMA = "repro.bench/v1"
@@ -60,7 +73,11 @@ _GATED_CASES = (
     "tpa_wave_planned",
     "distributed",
     "serving",
+    "syscd_threads",
 )
+
+#: committed baseline file pattern at the repo root, one per landmark PR
+_BASELINE_GLOB = "BENCH_PR*.json"
 
 
 @dataclass(frozen=True)
@@ -83,6 +100,11 @@ class BenchProfile:
     #: uniform popularity so every wave exercises the same kernel shape and
     #: the medians measure wave throughput, not tail-column skew.
     feature_exponent: float = 1.0
+    #: SySCD measured-speedup scenario: worker threads, coordinates per
+    #: bucket, and buckets per thread between replica merges
+    syscd_threads: int = 4
+    syscd_bucket: int = 64
+    syscd_merge_every: int = 1
 
 
 PROFILES: dict[str, BenchProfile] = {
@@ -109,6 +131,7 @@ PROFILES: dict[str, BenchProfile] = {
         n_workers=2,
         reps=3,
         warmup=1,
+        syscd_bucket=16,
     ),
 }
 
@@ -235,6 +258,24 @@ def _case_serving(problem, profile: BenchProfile) -> tuple[list[float], int]:
     return _time_epochs(run_one, profile), n_rows
 
 
+def _case_syscd(problem, profile: BenchProfile, n_threads: int) -> list[float]:
+    """One SySCD epoch per rep: exact reference at 1 thread, bucketed above.
+
+    The reference is pinned to the numpy backend (the bitwise-reference
+    semantics); the threaded case uses ``kernel_backend="auto"`` so the
+    measured speedup reflects whatever backend ships on the host.
+    """
+    from ..solvers.syscd import SyscdKernelFactory
+
+    factory = SyscdKernelFactory(
+        n_threads=n_threads,
+        bucket_size=profile.syscd_bucket,
+        merge_every=profile.syscd_merge_every,
+        kernel_backend="numpy" if n_threads == 1 else "auto",
+    )
+    return _time_epochs(_bound_epoch_runner(factory, problem, profile), profile)
+
+
 def run_suite(profile: str | BenchProfile = "default") -> dict:
     """Run every case of ``profile`` and return the ``repro.bench/v1`` payload."""
     from .. import __version__
@@ -260,6 +301,9 @@ def run_suite(profile: str | BenchProfile = "default") -> dict:
     record("tpa_wave_seed", _case_tpa(problem, prof, planned=False))
     record("tpa_wave_planned", _case_tpa(problem, prof, planned=True))
     record("distributed", _case_distributed(problem, prof))
+    record("syscd_ref", _case_syscd(problem, prof, 1))
+    record("syscd_threads", _case_syscd(problem, prof, prof.syscd_threads))
+    cases["syscd_threads"]["n_threads"] = prof.syscd_threads
     serving_times, serving_rows = _case_serving(problem, prof)
     record("serving", serving_times)
     cases["serving"]["rows_scored"] = serving_rows
@@ -290,6 +334,9 @@ def run_suite(profile: str | BenchProfile = "default") -> dict:
             "warmup": prof.warmup,
             "seed": prof.seed,
             "feature_exponent": prof.feature_exponent,
+            "syscd_threads": prof.syscd_threads,
+            "syscd_bucket": prof.syscd_bucket,
+            "syscd_merge_every": prof.syscd_merge_every,
         },
         "cases": cases,
         "derived": {
@@ -298,6 +345,15 @@ def run_suite(profile: str | BenchProfile = "default") -> dict:
                 cases["tpa_wave_seed"]["median_s"]
                 / cases["tpa_wave_planned"]["median_s"]
                 if cases["tpa_wave_planned"]["median_s"] > 0
+                else 0.0
+            ),
+            # wall-clock speedup of the threaded SySCD path over the
+            # single-thread numpy reference — the measured (not modelled)
+            # parallel-speedup gate
+            "syscd_measured_speedup": (
+                cases["syscd_ref"]["median_s"]
+                / cases["syscd_threads"]["median_s"]
+                if cases["syscd_threads"]["median_s"] > 0
                 else 0.0
             ),
         },
@@ -388,4 +444,74 @@ def render_table(payload: dict) -> str:
         "tpa planned vs seed speedup: "
         f"{payload['derived']['tpa_planned_speedup']:.2f}x"
     )
+    syscd = payload["derived"].get("syscd_measured_speedup")
+    if syscd is not None:
+        threads = payload["cases"].get("syscd_threads", {}).get("n_threads", "?")
+        rows.append(
+            f"syscd measured speedup ({threads} threads vs 1): {syscd:.2f}x"
+        )
+    return "\n".join(rows)
+
+
+def _baseline_key(path: Path) -> tuple[int, str]:
+    """Sort key ordering ``BENCH_PR<k>.json`` numerically, others last."""
+    match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+    if match:
+        return (int(match.group(1)), path.name)
+    return (10**9, path.name)
+
+
+def find_baselines(root: str | Path = ".") -> list[Path]:
+    """Committed ``BENCH_PR*.json`` baselines under ``root``, oldest first.
+
+    Files are ordered by PR number (``BENCH_PR4`` < ``BENCH_PR6`` <
+    ``BENCH_PR9`` — numeric, not lexicographic); unparsable names sort last
+    alphabetically.  Invalid payloads are skipped rather than raising so a
+    scratch file at the repo root cannot break the dashboard.
+    """
+    found = []
+    for path in sorted(Path(root).glob(_BASELINE_GLOB), key=_baseline_key):
+        try:
+            load_payload(path)
+        except (ValueError, OSError, json.JSONDecodeError):
+            continue
+        found.append(path)
+    return found
+
+
+def latest_baseline(root: str | Path = ".") -> Path | None:
+    """The newest committed bench baseline under ``root`` (or ``None``)."""
+    baselines = find_baselines(root)
+    return baselines[-1] if baselines else None
+
+
+def render_trajectory(paths: list[str | Path]) -> str:
+    """Per-case normalized-throughput history across committed baselines.
+
+    One row per case that appears in any payload, one column per baseline
+    (oldest → newest), so ``repro bench --baseline`` can show how each
+    scenario moved across landmark PRs instead of a single pairwise diff.
+    """
+    payloads = [(Path(p), load_payload(p)) for p in paths]
+    if not payloads:
+        return "no bench baselines found"
+    names: list[str] = []
+    for _, payload in payloads:
+        for case in payload["derived"]["normalized_throughput"]:
+            if case not in names:
+                names.append(case)
+    labels = [path.stem.removeprefix("BENCH_") for path, _ in payloads]
+    width = max(8, *(len(label) for label in labels))
+    rows = ["normalized throughput trajectory (vs each payload's own seq):"]
+    rows.append(
+        f"{'case':<18} " + " ".join(f"{label:>{width}}" for label in labels)
+    )
+    for case in names:
+        cells = []
+        for _, payload in payloads:
+            rel = payload["derived"]["normalized_throughput"].get(case)
+            cells.append(
+                f"{rel:>{width - 1}.2f}x" if rel is not None else " " * width
+            )
+        rows.append(f"{case:<18} " + " ".join(cells))
     return "\n".join(rows)

@@ -7,6 +7,7 @@ from .elasticnet import ElasticNetCD, elastic_net_path, lambda_grid
 from .logistic import LogisticSdca
 from .scd import SequentialKernelFactory, SequentialSCD
 from .sgd import SgdSolver
+from .syscd import SySCD, SyscdKernelFactory
 from .svm import SvmSdca
 
 __all__ = [
@@ -22,6 +23,8 @@ __all__ = [
     "SequentialKernelFactory",
     "SequentialSCD",
     "SgdSolver",
+    "SySCD",
+    "SyscdKernelFactory",
     "ElasticNetCD",
     "elastic_net_path",
     "lambda_grid",

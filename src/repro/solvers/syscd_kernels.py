@@ -1,0 +1,266 @@
+"""SySCD bucket kernels and the optional compiled (numba) backend.
+
+SySCD (Ioannou, Mendler-Dünner & Parnell, NeurIPS 2019) restructures
+shared-memory parallel coordinate descent around three system-aware ideas:
+coordinates are processed in *buckets* sized for the cache hierarchy, each
+worker thread updates a *private replica* of the shared vector, and replicas
+are reconciled in periodic *merge* steps instead of per-update atomics.
+This module holds the numerical kernels for one bucket pass plus the exact
+single-thread reference; the orchestration (threads, replicas, merges)
+lives in :mod:`repro.solvers.syscd`.
+
+Two interchangeable backends implement the same kernels:
+
+* **numpy** — always available; the bitwise reference implementation.
+* **numba** — ``@njit(nogil=True)`` scalar loops, compiled on first use
+  when numba is importable.  ``nogil`` releases the GIL inside the bucket
+  pass, so on multi-core hosts the worker threads genuinely run in
+  parallel.
+
+The two backends are **bit-identical** by construction, which the test
+suite asserts.  That is only possible because every inner product is
+computed through :func:`numpy.cumsum` prefix sums — a strictly sequential
+left-to-right accumulation that a scalar loop reproduces exactly — rather
+than BLAS ``dot`` (whose blocked accumulation order is implementation
+defined), and every scatter uses :func:`numpy.add.at` (applies updates in
+index order) mirrored by an in-order loop.  Neither backend enables
+fastmath/FMA contraction.
+
+Both formulations of ridge regression share one update rule::
+
+    delta_j = (target[j] - <a_j, v> - N*lam * coef[j]) * inv_denom[j]
+
+with ``target = A^T y`` / ``v = w`` for the primal and ``target = lam*y`` /
+``v = wbar`` for the dual, so one kernel pair serves both bindings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "numba_available",
+    "resolve_backend",
+    "auto_bucket_size",
+    "bucket_bounds",
+    "exact_epoch_numpy",
+    "bucket_pass_numpy",
+    "get_numba_kernels",
+]
+
+#: accepted values of ``SolverConfig.kernel_backend``
+KERNEL_BACKENDS = ("numpy", "numba", "auto")
+
+# cached import probe: None = not probed, False = unavailable, dict = kernels
+_NUMBA_KERNELS: dict | None | bool = None
+
+
+def numba_available() -> bool:
+    """Whether the numba JIT backend can be imported (never raises)."""
+    return get_numba_kernels() is not None
+
+
+def resolve_backend(requested: str) -> str:
+    """Map a requested backend name to the concrete one that will run.
+
+    ``"auto"`` degrades gracefully: it selects numba when importable and
+    silently falls back to numpy otherwise (the two are bit-identical, so
+    the fallback changes speed, never results).  Requesting ``"numba"``
+    explicitly on a host without numba is an error.
+    """
+    if requested not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel_backend {requested!r}; "
+            f"choose from {KERNEL_BACKENDS}"
+        )
+    if requested == "numpy":
+        return "numpy"
+    if requested == "numba":
+        if not numba_available():
+            raise ValueError(
+                "kernel_backend='numba' but numba is not importable; "
+                "install numba or use kernel_backend='auto'"
+            )
+        return "numba"
+    return "numba" if numba_available() else "numpy"
+
+
+def auto_bucket_size(n_coords: int, n_threads: int) -> int:
+    """Default bucket size for a problem of ``n_coords`` coordinates.
+
+    SySCD sizes buckets for the cache, but on small problems the binding
+    constraint is *staleness*: each merge period applies up to
+    ``n_threads * bucket_size`` updates computed against a common snapshot,
+    and once that window is a large fraction of the coordinates the summed
+    corrections overshoot (heavily overlapping coordinates double-count
+    each other's progress and the trajectory can diverge).  Keeping the
+    window at ~1/16 of the coordinates holds threaded objectives within a
+    fraction of a percent of the sequential trajectory on the shipped
+    datasets; 256 caps the bucket's gather working set at cache-friendly
+    sizes, and the floor of 8 keeps vectorized passes worthwhile.
+    """
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    return max(8, min(256, n_coords // (16 * n_threads)))
+
+
+def bucket_bounds(n_coords: int, bucket_size: int) -> np.ndarray:
+    """Edges of the contiguous bucket partition of ``range(n_coords)``.
+
+    Returns an int64 array ``edges`` with ``edges[0] == 0`` and
+    ``edges[-1] == n_coords``; bucket ``b`` covers positions
+    ``edges[b]:edges[b+1]`` of the epoch permutation.  Every position lands
+    in exactly one bucket (the partition property the hypothesis tests
+    pin), and only the last bucket may be short.
+    """
+    if bucket_size < 1:
+        raise ValueError("bucket_size must be >= 1")
+    if n_coords < 0:
+        raise ValueError("n_coords must be non-negative")
+    return np.append(
+        np.arange(0, n_coords, bucket_size, dtype=np.int64),
+        np.int64(n_coords),
+    )
+
+
+# ---------------------------------------------------------------------------
+# numpy backend (the bitwise reference)
+# ---------------------------------------------------------------------------
+
+
+def exact_epoch_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    target: np.ndarray,
+    inv_denom: np.ndarray,
+    nlam: float,
+    coef: np.ndarray,
+    shared: np.ndarray,
+    order: np.ndarray,
+) -> None:
+    """Exact Algorithm-1 pass over ``order``: every update sees fresh state.
+
+    This is SySCD's single-thread reference semantics; the threaded path
+    must agree with it on per-epoch objectives to tolerance.  The dot is a
+    cumsum prefix (sequential accumulation) so the numba twin matches
+    bitwise.
+    """
+    for j in order:
+        lo = indptr[j]
+        hi = indptr[j + 1]
+        if lo == hi:
+            dot = 0.0
+        else:
+            idx = indices[lo:hi]
+            v = data[lo:hi]
+            dot = np.cumsum(v * shared[idx])[-1]
+        delta = (target[j] - dot - nlam * coef[j]) * inv_denom[j]
+        coef[j] += delta
+        if lo != hi:
+            shared[idx] += v * delta
+
+
+def bucket_pass_numpy(
+    e_idx: np.ndarray,
+    e_val: np.ndarray,
+    seg_ptr: np.ndarray,
+    coords: np.ndarray,
+    target: np.ndarray,
+    inv_denom: np.ndarray,
+    nlam: float,
+    coef: np.ndarray,
+    replica: np.ndarray,
+) -> None:
+    """One bucket's updates against a private replica (stale within bucket).
+
+    All inner products read ``replica`` as of bucket start, then every
+    coordinate's update is applied — the same chunk framing as the async
+    kernels, but writing a thread-private replica so no update is ever
+    lost.  ``e_idx``/``e_val``/``seg_ptr`` are the bucket's slice of the
+    epoch gather; ``coords`` are the coordinate ids (unique within an
+    epoch permutation, so the fancy ``coef`` update has no duplicates).
+    """
+    prods = e_val * replica[e_idx]
+    prefix = np.empty(prods.shape[0] + 1, dtype=np.float64)
+    prefix[0] = 0.0
+    np.cumsum(prods, dtype=np.float64, out=prefix[1:])
+    dots = prefix[seg_ptr[1:]] - prefix[seg_ptr[:-1]]
+    deltas = (target[coords] - dots - nlam * coef[coords]) * inv_denom[coords]
+    coef[coords] += deltas
+    np.add.at(replica, e_idx, e_val * np.repeat(deltas, np.diff(seg_ptr)))
+
+
+# ---------------------------------------------------------------------------
+# numba backend (compiled on first use; bit-identical to the numpy kernels)
+# ---------------------------------------------------------------------------
+
+
+def get_numba_kernels() -> dict | None:
+    """The compiled kernel pair, or ``None`` when numba is unavailable.
+
+    Compiled lazily and cached for the process; the jitted functions use
+    ``nogil=True`` (parallel bucket passes across threads) and default
+    strict FP semantics (no fastmath, no FMA contraction) so they replicate
+    the numpy kernels' accumulation order exactly:
+
+    * dots accumulate left-to-right, seeding the accumulator with the
+      *first product* (matching ``np.cumsum``'s ``out[0] = x[0]``, not
+      ``0.0 + x[0]`` — the two differ on signed zeros);
+    * scatters apply element updates in flat-array order (``np.add.at``).
+    """
+    global _NUMBA_KERNELS
+    if _NUMBA_KERNELS is not None:
+        return _NUMBA_KERNELS if _NUMBA_KERNELS is not False else None
+    try:
+        from numba import njit
+    except ImportError:
+        _NUMBA_KERNELS = False
+        return None
+
+    @njit(nogil=True)
+    def exact_epoch_nb(
+        indptr, indices, data, target, inv_denom, nlam, coef, shared, order
+    ):  # pragma: no cover - exercised only where numba is installed
+        for k in range(order.shape[0]):
+            j = order[k]
+            lo = indptr[j]
+            hi = indptr[j + 1]
+            dot = 0.0
+            for p in range(lo, hi):
+                prod = data[p] * shared[indices[p]]
+                if p == lo:
+                    dot = prod
+                else:
+                    dot += prod
+            delta = (target[j] - dot - nlam * coef[j]) * inv_denom[j]
+            coef[j] += delta
+            for p in range(lo, hi):
+                shared[indices[p]] += data[p] * delta
+
+    @njit(nogil=True)
+    def bucket_pass_nb(
+        e_idx, e_val, seg_ptr, coords, target, inv_denom, nlam, coef, replica
+    ):  # pragma: no cover - exercised only where numba is installed
+        n = coords.shape[0]
+        dots = np.empty(n, dtype=np.float64)
+        acc = 0.0
+        for s in range(n):
+            start = acc
+            for p in range(seg_ptr[s], seg_ptr[s + 1]):
+                prod = e_val[p] * replica[e_idx[p]]
+                if p == 0:
+                    acc = prod
+                else:
+                    acc += prod
+            dots[s] = acc - start
+        for s in range(n):
+            j = coords[s]
+            delta = (target[j] - dots[s] - nlam * coef[j]) * inv_denom[j]
+            coef[j] += delta
+            for p in range(seg_ptr[s], seg_ptr[s + 1]):
+                replica[e_idx[p]] += e_val[p] * delta
+
+    _NUMBA_KERNELS = {"exact": exact_epoch_nb, "bucket": bucket_pass_nb}
+    return _NUMBA_KERNELS

@@ -69,7 +69,7 @@ class TestPublicSurface:
 
 class TestTrainDispatch:
     @pytest.mark.parametrize(
-        "solver", ["seq", "a-scd", "wild", "tpa-scd", "distributed", "mp"]
+        "solver", ["seq", "a-scd", "wild", "syscd", "tpa-scd", "distributed", "mp"]
     )
     def test_every_solver_returns_train_result(self, ridge_sparse, solver):
         kwargs = {"n_epochs": 2}

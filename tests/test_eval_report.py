@@ -83,9 +83,12 @@ class TestHtmlReport:
 
 class TestBenchSection:
     def test_dashboard_against_baseline(self, tmp_path):
-        from repro.perf.bench import load_payload
+        from repro.perf.bench import latest_baseline, load_payload
 
-        baseline = load_payload("BENCH_PR6.json")
+        # the dashboard diffs against the *newest* committed landmark
+        newest = latest_baseline(".")
+        assert newest is not None and newest.name == "BENCH_PR9.json"
+        baseline = load_payload(newest)
         doc = {
             "experiment": {"id": "bench-rep"},
             "run": {"scale": "tiny"},
@@ -94,17 +97,23 @@ class TestBenchSection:
         }
         # reuse the committed baseline as the "new" run too: zero regressions
         run = run_plan(plan(parse_config(doc)), cache_dir=tmp_path / "cache")
-        html = build_report(run, bench_new=baseline, bench_baseline=baseline)
+        html = build_report(
+            run,
+            bench_new=baseline,
+            bench_baseline=baseline,
+            bench_baseline_label=newest.name,
+        )
         assert "Kernel bench regression dashboard" in html
         assert "no regressions" in html
+        assert "BENCH_PR9.json" in html
         assert "sequential" in html and "tpa_wave_planned" in html
-        for case in ("chunked", "distributed", "serving"):
+        for case in ("chunked", "distributed", "serving", "syscd_threads"):
             assert case in html
 
     def test_dashboard_without_baseline(self, tmp_path):
         from repro.perf.bench import load_payload
 
-        baseline = load_payload("BENCH_PR6.json")
+        baseline = load_payload("BENCH_PR9.json")
         doc = {
             "experiment": {"id": "bench-rep2"},
             "run": {"scale": "tiny"},
