@@ -34,7 +34,7 @@ from .perf.link import Link
 from .solvers.ascd import ASCD, PASSCoDeWild
 from .solvers.base import TrainResult
 from .solvers.scd import SequentialKernelFactory, SequentialSCD
-from .solvers.syscd import SySCD
+from .solvers.syscd import SySCD, SyscdKernelFactory
 
 __all__ = ["SolverConfig", "train", "SOLVER_ALIASES", "SvmTrainResult"]
 
@@ -77,6 +77,15 @@ class SolverConfig:
     faults: Any = None
     sigma_prime: float = 1.0
     mp_context: str | None = None
+    # -- comm schedule (sync Algorithm 3 vs async parameter server) ---------
+    comm: str = "sync"
+    batch_fraction: float = 1 / 16
+    comm_overlap: float = 0.9
+    staleness_bound: int = 0
+    # -- elastic membership and heterogeneous pools -------------------------
+    membership: Any = None
+    rebalance_every: int = 0
+    capacities: Any = None
 
     def replace(self, **overrides) -> "SolverConfig":
         """A copy with ``overrides`` applied (the dataclass is frozen)."""
@@ -116,8 +125,18 @@ def _distributed_factory(cfg: SolverConfig):
             n_threads=cfg.gpu_threads,
             wave_size=cfg.wave_size,
         )
+    if cfg.local_solver in ("syscd", "sy-scd"):
+        # threaded SySCD as each rank's local solver (heterogeneous CPU rank)
+        return lambda rank: SyscdKernelFactory(
+            n_threads=cfg.n_threads,
+            bucket_size=cfg.bucket_size,
+            merge_every=cfg.merge_every,
+            merge=cfg.merge,
+            kernel_backend=cfg.kernel_backend,
+        )
     raise ValueError(
-        f"unknown local_solver {cfg.local_solver!r}; use 'seq' or 'tpa'"
+        f"unknown local_solver {cfg.local_solver!r}; use 'seq', 'tpa' or "
+        "'syscd'"
     )
 
 
@@ -212,6 +231,13 @@ def train(
             seed=cfg.seed,
             round_fraction=cfg.round_fraction,
             faults=cfg.faults,
+            comm=cfg.comm,
+            batch_fraction=cfg.batch_fraction,
+            comm_overlap=cfg.comm_overlap,
+            staleness_bound=cfg.staleness_bound,
+            membership=cfg.membership,
+            rebalance_every=cfg.rebalance_every,
+            capacities=cfg.capacities,
         )
     elif kind == "mp":
         engine = MpDistributedSCD(
@@ -230,5 +256,7 @@ def train(
             paper_scale=cfg.paper_scale,
             seed=cfg.seed,
             faults=cfg.faults,
+            membership=cfg.membership,
+            rebalance_every=cfg.rebalance_every,
         )
     return engine.solve(problem, cfg.n_epochs, **common)

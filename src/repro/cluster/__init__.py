@@ -1,8 +1,11 @@
 """Cluster substrate: the unified runtime, partitioners, simulated MPI.
 
-``repro.cluster.runtime`` is the single synchronous-epoch engine behind
-``DistributedSCD`` / ``DistributedSvm`` / ``MpDistributedSCD``; see
-``docs/architecture.md`` for its five pluggable seams.
+``repro.cluster.runtime`` is the single epoch engine behind
+``DistributedSCD`` / ``DistributedSvm`` / ``MpDistributedSCD`` — synchronous
+Algorithm 3 rounds or the asynchronous parameter-server schedule, selected
+by the CommBackend; see ``docs/architecture.md`` for its six pluggable
+seams (partitioner, comm backend, local solver, aggregation, faults,
+membership).
 """
 
 from ..perf.link import ETHERNET_10G, ETHERNET_100G, Link
@@ -17,7 +20,18 @@ from .faults import (
     WorkerEpochFaults,
     make_fault_injector,
 )
+from .membership import (
+    LoadBalancer,
+    MembershipEvent,
+    MembershipRecord,
+    MembershipSchedule,
+)
 from .mp_cluster import MpDistributedSCD
+
+# after mp_cluster: the core package initializes during mp_cluster's import,
+# and repro.core.distributed itself imports .async_backend — importing it
+# earlier would leave it half-initialized inside that cycle
+from .async_backend import AsyncParamServerBackend
 from .partition import (
     balanced_nnz_partition,
     contiguous_partition,
@@ -45,8 +59,11 @@ from .smart_partition import (
     communities_of,
     cooccurrence_graph,
     correlation_aware_partition,
+    load_proportional_partition,
+    make_capacity_partitioner,
     make_correlation_partitioner,
     pack_communities,
+    validate_capacities,
 )
 
 __all__ = [
@@ -84,6 +101,14 @@ __all__ = [
     "pack_communities",
     "correlation_aware_partition",
     "make_correlation_partitioner",
+    "load_proportional_partition",
+    "make_capacity_partitioner",
+    "validate_capacities",
+    "AsyncParamServerBackend",
+    "MembershipEvent",
+    "MembershipSchedule",
+    "MembershipRecord",
+    "LoadBalancer",
     "Link",
     "ETHERNET_10G",
     "ETHERNET_100G",

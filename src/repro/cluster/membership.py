@@ -1,0 +1,230 @@
+"""Elastic cluster membership: workers joining and leaving between epochs.
+
+The paper trains on a fixed pool of K workers; the survivor-rescaled
+aggregation the fault path already computes (gamma* over the K' <= K updates
+that arrived) is exactly what an *elastic* cluster needs — membership becomes
+a policy, not an architectural constant.  This module supplies the policies:
+
+* :class:`MembershipEvent` / :class:`MembershipSchedule` — seeded,
+  deterministic join/leave events applied at epoch boundaries, optionally
+  combined with per-epoch random churn (stateless per ``(seed, epoch)`` like
+  the fault injector) and fault-driven eviction (a rank that drops out
+  ``evict_after`` consecutive epochs leaves the cluster);
+* :class:`LoadBalancer` — a rebalance policy for heterogeneous pools: it
+  turns measured per-rank epoch wall time into capacity estimates
+  (coordinates per second, EMA-smoothed) and asks the runtime to repartition
+  load-proportionally every ``every`` epochs;
+* :class:`MembershipRecord` — the audit trail of what changed and why.
+
+The mechanics — state-preserving repartitioning, shard alignment, stale
+buffer invalidation — live on the comm backends (``resize``); the
+:class:`~repro.cluster.runtime.ClusterRuntime` consults these policies at
+every epoch boundary and emits ``cluster.membership.*`` /
+``cluster.rebalance.*`` spans and metrics.  A run with no membership policy
+and no balancer never touches any of this code: the static-membership
+trajectory stays byte-for-byte what the runtime goldens pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "MembershipEvent",
+    "MembershipSchedule",
+    "MembershipRecord",
+    "LoadBalancer",
+]
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One scheduled change: ``n`` workers join or leave *before* ``epoch``."""
+
+    epoch: int
+    action: str  # "join" | "leave"
+    n: int = 1
+
+    def __post_init__(self) -> None:
+        if self.epoch < 1:
+            raise ValueError("membership events apply before epoch >= 1")
+        if self.action not in ("join", "leave"):
+            raise ValueError(f"unknown membership action {self.action!r}")
+        if self.n < 1:
+            raise ValueError("event must move at least one worker")
+
+
+class MembershipSchedule:
+    """When the worker pool changes shape, and by how much.
+
+    Three deterministic sources compose:
+
+    * explicit ``events`` — ``MembershipEvent(epoch, "join"|"leave", n)``,
+      applied before the named epoch runs;
+    * seeded churn — with ``churn_seed`` set, each epoch boundary draws one
+      join (probability ``join_prob``) and one leave (``leave_prob``) from a
+      generator seeded by ``(churn_seed, epoch)``, so the schedule is
+      reproducible and independent of how many epochs actually ran;
+    * eviction — when ``evict_after`` is set, the runtime retires any rank
+      the fault injector kept offline for that many consecutive epochs.
+
+    The pool size is always clamped to ``[min_workers, max_workers]``.
+    """
+
+    def __init__(
+        self,
+        events: Iterable[MembershipEvent | tuple] = (),
+        *,
+        evict_after: int | None = None,
+        min_workers: int = 1,
+        max_workers: int | None = None,
+        churn_seed: int | None = None,
+        join_prob: float = 0.0,
+        leave_prob: float = 0.0,
+    ) -> None:
+        self.events: list[MembershipEvent] = [
+            e if isinstance(e, MembershipEvent) else MembershipEvent(*e)
+            for e in events
+        ]
+        if evict_after is not None and evict_after < 1:
+            raise ValueError("evict_after must be >= 1")
+        if min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if max_workers is not None and max_workers < min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if not 0.0 <= join_prob <= 1.0 or not 0.0 <= leave_prob <= 1.0:
+            raise ValueError("churn probabilities must be in [0, 1]")
+        if (join_prob or leave_prob) and churn_seed is None:
+            raise ValueError("random churn needs a churn_seed")
+        self.evict_after = evict_after
+        self.min_workers = int(min_workers)
+        self.max_workers = max_workers
+        self.churn_seed = churn_seed
+        self.join_prob = float(join_prob)
+        self.leave_prob = float(leave_prob)
+
+    def delta_at(self, epoch: int) -> tuple[int, int]:
+        """``(joins, leaves)`` scheduled for the boundary before ``epoch``."""
+        joins = sum(
+            e.n for e in self.events if e.epoch == epoch and e.action == "join"
+        )
+        leaves = sum(
+            e.n for e in self.events if e.epoch == epoch and e.action == "leave"
+        )
+        if self.churn_seed is not None and (self.join_prob or self.leave_prob):
+            rng = np.random.default_rng((self.churn_seed, epoch))
+            # two draws, always both taken, so join_prob=0 still consumes one
+            # and the leave stream stays aligned across configurations
+            if rng.random() < self.join_prob:
+                joins += 1
+            if rng.random() < self.leave_prob:
+                leaves += 1
+        return joins, leaves
+
+    def clamp(self, k: int) -> int:
+        k = max(k, self.min_workers)
+        if self.max_workers is not None:
+            k = min(k, self.max_workers)
+        return k
+
+
+@dataclass
+class MembershipRecord:
+    """One applied membership/rebalance step, for the result's audit trail."""
+
+    epoch: int
+    k_before: int
+    k_after: int
+    joins: int = 0
+    leaves: int = 0
+    evictions: int = 0
+    rebalanced: bool = False
+    #: buffered stale updates invalidated by the repartition
+    dropped_stale: int = 0
+    #: capacity shares used for the new partition (None = partitioner default)
+    capacities: list[float] | None = None
+
+
+class LoadBalancer:
+    """Load-proportional repartitioning from measured per-rank wall time.
+
+    After every epoch the runtime feeds it ``(sizes, walls)`` — each rank's
+    coordinate count and measured (modelled or real) epoch seconds.  The
+    balancer keeps an EMA of per-rank throughput; when a rebalance is due
+    (every ``every`` epochs, or whenever membership changes the pool) it
+    emits capacity shares for :func:`~repro.cluster.smart_partition.
+    load_proportional_partition`.  Ranks with no history (fresh joiners)
+    are assigned the median surviving throughput.
+    """
+
+    def __init__(
+        self,
+        every: int = 1,
+        *,
+        smooth: float = 0.5,
+        min_imbalance: float = 1.05,
+    ) -> None:
+        if every < 1:
+            raise ValueError("rebalance interval must be >= 1 epoch")
+        if not 0.0 < smooth <= 1.0:
+            raise ValueError("smooth must be in (0, 1]")
+        if min_imbalance < 1.0:
+            raise ValueError("min_imbalance must be >= 1.0")
+        self.every = int(every)
+        self.smooth = float(smooth)
+        self.min_imbalance = float(min_imbalance)
+        self._throughput: list[float] = []
+        self._epochs_recorded = 0
+
+    def record(
+        self, sizes: Sequence[int], walls: dict[int, float] | Sequence[float]
+    ) -> None:
+        """Fold one epoch's measurements into the per-rank throughput EMA."""
+        if isinstance(walls, dict):
+            walls = [walls.get(rank, 0.0) for rank in range(len(sizes))]
+        fresh: list[float] = []
+        for size, wall in zip(sizes, walls):
+            fresh.append(size / wall if wall > 0.0 else float("nan"))
+        finite = [t for t in fresh if np.isfinite(t)]
+        if not finite:
+            return
+        fill = float(np.median(finite))
+        fresh = [t if np.isfinite(t) else fill for t in fresh]
+        if len(self._throughput) != len(fresh):
+            # membership changed since the last record: restart the EMA at
+            # the new pool shape rather than smear stale rank identities
+            self._throughput = list(fresh)
+        else:
+            a = self.smooth
+            self._throughput = [
+                a * new + (1.0 - a) * old
+                for new, old in zip(fresh, self._throughput)
+            ]
+        self._epochs_recorded += 1
+
+    def due(self, epoch: int) -> bool:
+        """Is a periodic rebalance due before ``epoch``?"""
+        if not self._throughput or self._epochs_recorded == 0:
+            return False
+        if (epoch - 1) % self.every != 0:
+            return False
+        lo, hi = min(self._throughput), max(self._throughput)
+        return lo > 0.0 and hi / lo >= self.min_imbalance
+
+    def capacities(self, n_workers: int) -> list[float] | None:
+        """Capacity shares for a pool of ``n_workers``, or None if unmeasured."""
+        if not self._throughput:
+            return None
+        caps = [t for t in self._throughput if t > 0.0 and np.isfinite(t)]
+        if not caps:
+            return None
+        fill = float(np.median(caps))
+        out = [
+            t if t > 0.0 and np.isfinite(t) else fill for t in self._throughput
+        ]
+        if len(out) < n_workers:
+            out = out + [fill] * (n_workers - len(out))
+        return out[:n_workers]

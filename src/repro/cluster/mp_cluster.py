@@ -146,6 +146,7 @@ class MpDistributedSCD:
         faults: FaultInjector | FaultSpec | str | None = None,
         partitioner=None,
         shards: ShardingConfig | ShardStore | None = None,
+        membership=None,
     ) -> None:
         if formulation not in ("primal", "dual"):
             raise ValueError(f"unknown formulation {formulation!r}")
@@ -167,6 +168,9 @@ class MpDistributedSCD:
                     f"{formulation} formulation needs a {axis!r}-axis shard "
                     f"set, got {self.shards.store.axis!r}"
                 )
+        #: elastic membership is simulation-only; a non-None schedule makes
+        #: ClusterRuntime raise its pointed not-supported error at build time
+        self.membership = membership
         self._groups: list[list[int]] | None = None
         self._ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
         self.name = (
@@ -279,6 +283,7 @@ class MpDistributedSCD:
             ),
             profile=_MP_PROFILE,
             name=lambda: self.name,
+            membership=self.membership,
         )
         rt = runtime.run(
             problem,

@@ -3,7 +3,7 @@
 The paper's distributed algorithms (Alg. 3, Alg. 4, and the Section V
 distributed TPA-SCD composition) are one synchronous scheme — local solve ->
 Reduce deltas -> gamma*_t aggregation -> Broadcast -> workers fold
-``gamma_t * dmodel``.  This module implements that scheme *once* with five
+``gamma_t * dmodel``.  This module implements that scheme *once* with six
 pluggable seams, and the engine classes (`DistributedSCD`, `DistributedSvm`,
 `MpDistributedSCD`) become thin facades that assemble a runtime from parts:
 
@@ -13,8 +13,11 @@ pluggable seams, and the engine classes (`DistributedSCD`, `DistributedSvm`,
 * **CommBackend** — :class:`InProcessBackend` (workers execute in-process,
   communication priced by :class:`~repro.cluster.comm.SimCommunicator`) vs
   :class:`PipeProcessBackend` (real ``multiprocessing`` workers over pipes,
-  real wall-clock); one interface carries Reduce/Broadcast plus the adaptive
-  rule's extra scalars;
+  real wall-clock) vs the asynchronous
+  :class:`~repro.cluster.async_backend.AsyncParamServerBackend`
+  (bounded-staleness parameter-server cycles; the runtime skips
+  aggregation and takes its clock from the backend); one interface carries
+  Reduce/Broadcast plus the adaptive rule's extra scalars;
 * **LocalSolver** — the :class:`LocalSolver` protocol adapts what a worker
   does between barriers: CPU/GPU SCD kernels (``core/distributed.py``) or
   SVM dual updates (``core/distributed_svm.py``);
@@ -23,7 +26,12 @@ pluggable seams, and the engine classes (`DistributedSCD`, `DistributedSvm`,
 * **FaultPolicy** — :class:`FaultPolicy` wraps a
   :class:`~repro.cluster.faults.FaultInjector` and fixes the degraded-mode
   semantics (stale updates buffered for the next round vs counted as lost,
-  survivor-rescaled aggregation, retry-exhaustion bookkeeping).
+  survivor-rescaled aggregation, retry-exhaustion bookkeeping);
+* **Membership** — a :class:`~repro.cluster.membership.MembershipSchedule`
+  lets workers join/leave between epochs (explicit events, seeded churn,
+  dropout-driven eviction) with state-preserving repartitioning, and an
+  optional :class:`~repro.cluster.membership.LoadBalancer` re-cuts
+  partitions from measured per-rank walls (``docs/elasticity.md``).
 
 The epoch loop, ledger booking (compute / PCIe / reduce+broadcast /
 wait_straggler / retry phases), tracer spans, shard streaming hookup,
@@ -205,6 +213,12 @@ class RoundOutcome:
     compute_component: str = "compute_host"
     any_computed: bool = False
     n_updates: int = 0
+    #: per-rank wall seconds this round (modelled or real) — the measurement
+    #: the :class:`~repro.cluster.membership.LoadBalancer` rebalances from
+    worker_wall: dict[int, float] = field(default_factory=dict)
+    #: asynchronous backends report arrivals here (they keep no delivered
+    #: list — updates were already applied at push time)
+    n_arrived: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -392,6 +406,7 @@ class InProcessBackend:
                 # only the excess over compute extends this worker's wall clock
                 worker_wall += streamer.stream_epoch(ledger, compute_s=worker_wall)
             out.max_wall_s = max(out.max_wall_s, worker_wall)
+            out.worker_wall[rank] = worker_wall
             out.compute_component = upd.component
             out.n_updates += upd.n_updates
             out.any_computed = True
@@ -416,6 +431,31 @@ class InProcessBackend:
                 continue
             self._deliver(out, upd, needs_stats)
         return out
+
+    def resize(self, problem, tracer, n_workers: int, capacities=None) -> int:
+        """Elastic membership: repartition the pool to ``n_workers`` ranks.
+
+        Delegates the state-preserving repartition to the local-solver pool
+        (which must implement ``repartition``), resizes the communicator so
+        collective pricing tracks the new pool, and invalidates the stale
+        buffers — a buffered update's delta indices refer to the *old*
+        partition and cannot be folded after the reshuffle.  Returns the
+        number of buffered updates dropped.
+        """
+        repartition = getattr(self.solver, "repartition", None)
+        if repartition is None:
+            raise ValueError(
+                f"{type(self.solver).__name__} does not implement "
+                "repartition(); it cannot run under elastic membership"
+            )
+        dropped = sum(1 for upd in self._stale if upd is not None)
+        repartition(problem, tracer, n_workers, capacities)
+        self.comm.n_workers = int(n_workers)
+        self._stale = [None] * int(n_workers)
+        return dropped
+
+    def partition_sizes(self) -> list[int]:
+        return self.solver.partition_sizes()
 
     def reduce(self, parts: list[np.ndarray], like: np.ndarray) -> np.ndarray:
         return self.comm.reduce_sum_partial(parts, like=like)
@@ -513,6 +553,7 @@ class PipeProcessBackend:
             wf = plan[rank] if plan is not None else _BENIGN
             out.fault_free_compute_s = max(out.fault_free_compute_s, elapsed)
             out.n_updates += self.parts[rank].shape[0]
+            out.worker_wall[rank] = elapsed
             self._dweights[rank] = dweights
             verdict, _ = policy.verdict(wf)
             if verdict == "lost":
@@ -617,6 +658,8 @@ class RuntimeResult:
     gammas: list[float]
     report: FaultReport | None
     tracer: Any
+    #: applied membership/rebalance steps (empty for static pools)
+    membership_log: list = field(default_factory=list)
 
 
 class ClusterRuntime:
@@ -643,6 +686,8 @@ class ClusterRuntime:
         name: Callable[[], str] | str = "cluster",
         pcie=None,
         host_model=None,
+        membership=None,
+        rebalance=None,
     ) -> None:
         self.backend = backend
         self.aggregator = aggregator
@@ -652,6 +697,82 @@ class ClusterRuntime:
         self._name = name if callable(name) else (lambda: name)
         self.pcie = pcie
         self.host_model = host_model
+        #: optional :class:`~repro.cluster.membership.MembershipSchedule`
+        self.membership = membership
+        #: optional :class:`~repro.cluster.membership.LoadBalancer`
+        self.rebalance = rebalance
+        if (membership is not None or rebalance is not None) and not hasattr(
+            backend, "resize"
+        ):
+            raise ValueError(
+                f"{type(backend).__name__} does not support elastic "
+                "membership: its workers are bound at open() and cannot be "
+                "repartitioned mid-run; run elastic schedules on the "
+                "in-process simulated backends"
+            )
+
+    def _membership_step(
+        self, epoch, backend, problem, tracer, consec_down, log
+    ) -> None:
+        """Apply membership/rebalance policy at one epoch boundary.
+
+        Joins/leaves come from the schedule; evictions retire ranks the
+        fault injector kept offline ``evict_after`` consecutive epochs;
+        a :class:`LoadBalancer` repartitions load-proportionally from
+        measured per-rank wall time.  Any change routes through
+        ``backend.resize`` — the global model is preserved across the
+        reshuffle, and the survivor-rescaled aggregation (gamma* over
+        whatever pool exists *this* epoch) needs no special casing.
+        """
+        from .membership import MembershipRecord
+
+        k = backend.n_workers
+        joins = leaves = evictions = 0
+        schedule = self.membership
+        if schedule is not None:
+            joins, leaves = schedule.delta_at(epoch)
+            if schedule.evict_after is not None:
+                evictions = sum(
+                    1 for n in consec_down.values() if n >= schedule.evict_after
+                )
+            new_k = schedule.clamp(k + joins - leaves - evictions)
+        else:
+            new_k = k
+        # a same-size pool still reshuffles when its composition changed
+        # (evictions always take effect; a leave paired with a join swaps a
+        # rank); clamp-denied changes do not
+        changed = new_k != k or evictions > 0 or (joins > 0 and leaves > 0)
+        balancer = self.rebalance
+        rebalanced = balancer is not None and (changed or balancer.due(epoch))
+        if not changed and not rebalanced:
+            return
+        capacities = balancer.capacities(new_k) if balancer is not None else None
+        span_name = (
+            "cluster.membership.apply" if changed else "cluster.rebalance.apply"
+        )
+        with tracer.span(
+            span_name, category="cluster", epoch=epoch,
+            k_before=k, k_after=new_k,
+        ):
+            dropped = backend.resize(problem, tracer, new_k, capacities)
+        consec_down.clear()
+        if changed:
+            tracer.count("cluster.membership.changes")
+            tracer.count("cluster.membership.joins", joins)
+            tracer.count("cluster.membership.leaves", leaves + evictions)
+            tracer.observe("cluster.membership.size", float(new_k))
+        if rebalanced:
+            tracer.count("cluster.rebalance.count")
+        if dropped:
+            tracer.count("cluster.rebalance.dropped_stale", dropped)
+        log.append(
+            MembershipRecord(
+                epoch=epoch, k_before=k, k_after=new_k, joins=joins,
+                leaves=leaves, evictions=evictions, rebalanced=bool(rebalanced),
+                dropped_stale=dropped,
+                capacities=list(capacities) if capacities is not None else None,
+            )
+        )
 
     def run(
         self,
@@ -681,6 +802,10 @@ class ClusterRuntime:
         shared = np.zeros(shared_len, dtype=np.float64)
         gammas: list[float] = []
         report = policy.open_report()
+        asynchronous = bool(getattr(backend, "asynchronous", False))
+        elastic = self.membership is not None or self.rebalance is not None
+        membership_log: list = []
+        consec_down: dict[int, int] = {}
         root = tracer.span(
             profile.root_span, category="driver", solver=self._name(),
             n_workers=backend.n_workers, n_epochs=n_epochs,
@@ -708,6 +833,11 @@ class ClusterRuntime:
                 sim_time = 0.0
                 updates = 0
                 for epoch in range(1, n_epochs + 1):
+                    if elastic:
+                        self._membership_step(
+                            epoch, backend, problem, tracer, consec_down,
+                            membership_log,
+                        )
                     with tracer.span("epoch", category="driver", epoch=epoch):
                         plan = policy.plan(epoch, backend.n_workers)
                         if report is not None:
@@ -725,87 +855,110 @@ class ClusterRuntime:
                                 comm_bytes, needs_stats,
                             )
                         updates += out.n_updates
-                        n_arrived = len(out.delivered)
+                        n_arrived = (
+                            out.n_arrived if asynchronous else len(out.delivered)
+                        )
                         if report is not None:
                             report.survivor_counts.append(n_arrived)
-                        agg_cm = (
-                            tracer.span(
-                                "aggregate", category="cluster",
-                                epoch=epoch, survivors=n_arrived,
-                            )
-                            if profile.aggregate_span
-                            else nullcontext()
-                        )
-                        with agg_cm:
-                            if n_arrived:
-                                dshared = backend.reduce(
-                                    [u.dshared for u in out.delivered], shared
+                        if asynchronous:
+                            # the backend already applied every push to the
+                            # shared vector, booked its per-cycle ledger
+                            # phases and advanced its own simulated clock —
+                            # there is no aggregation round and no gamma
+                            gamma = 1.0
+                            sim_time = backend.sim_seconds
+                        else:
+                            agg_cm = (
+                                tracer.span(
+                                    "aggregate", category="cluster",
+                                    epoch=epoch, survivors=n_arrived,
                                 )
-                                if needs_stats:
-                                    if self.formulation == "primal":
-                                        resid_dot = float(
-                                            (shared - problem.y.astype(np.float64))
-                                            @ dshared
+                                if profile.aggregate_span
+                                else nullcontext()
+                            )
+                            with agg_cm:
+                                if n_arrived:
+                                    dshared = backend.reduce(
+                                        [u.dshared for u in out.delivered], shared
+                                    )
+                                    if needs_stats:
+                                        if self.formulation == "primal":
+                                            resid_dot = float(
+                                                (shared - problem.y.astype(np.float64))
+                                                @ dshared
+                                            )
+                                        else:
+                                            resid_dot = float(shared @ dshared)
+                                        dshared_norm_sq = float(dshared @ dshared)
+                                    else:
+                                        resid_dot = 0.0
+                                        dshared_norm_sq = 0.0
+                                    gamma = aggregator.gamma(
+                                        AggregationStats(
+                                            formulation=self.formulation,
+                                            n=problem.n,
+                                            lam=problem.lam,
+                                            n_workers=n_arrived,
+                                            resid_dot_dshared=resid_dot,
+                                            dshared_norm_sq=dshared_norm_sq,
+                                            model_dot_dmodel=out.model_dot,
+                                            dmodel_norm_sq=out.dmodel_norm_sq,
+                                            dmodel_dot_y=out.dmodel_dot_y,
+                                        )
+                                    )
+                                    shared += gamma * dshared
+                                else:
+                                    # nothing arrived (every update lost or every
+                                    # worker out): the shared vector stands and
+                                    # training proceeds next epoch
+                                    gamma = 0.0
+                                backend.finish_round(gamma, out)
+                            gammas.append(gamma)
+
+                            # -- time accounting ----------------------------
+                            ledger.add(out.compute_component, out.fault_free_compute_s)
+                            if backend.models_time:
+                                epoch_time = max(out.max_compute_s, out.max_wall_s)
+                                straggler_wait = (
+                                    out.max_compute_s - out.fault_free_compute_s
+                                )
+                                if straggler_wait > 0.0:
+                                    ledger.add("wait_straggler", straggler_wait)
+                                    tracer.count(
+                                        "dist.straggler_wait_s", straggler_wait
+                                    )
+                                if self.pcie is not None and out.any_computed:
+                                    pcie_s = 2.0 * self.pcie.transfer_seconds(
+                                        4 * paper_shared
+                                    )
+                                    host_s = self.host_model.epoch_seconds(paper_shared)
+                                    ledger.add("comm_pcie", pcie_s)
+                                    ledger.add("compute_host", host_s)
+                                    epoch_time += pcie_s + host_s
+                                net_s = backend.network_seconds(
+                                    comm_bytes, aggregator.n_extra_scalars
+                                )
+                                ledger.add("comm_network", net_s)
+                                if out.retry_s > 0.0:
+                                    ledger.add("comm_retry", out.retry_s)
+                                if profile.group_net_retry:
+                                    epoch_time += net_s + out.retry_s
+                                else:
+                                    epoch_time = epoch_time + net_s + out.retry_s
+                                sim_time += epoch_time
+                        if elastic:
+                            if plan is not None:
+                                for rank, wf in enumerate(plan):
+                                    if wf.dropout:
+                                        consec_down[rank] = (
+                                            consec_down.get(rank, 0) + 1
                                         )
                                     else:
-                                        resid_dot = float(shared @ dshared)
-                                    dshared_norm_sq = float(dshared @ dshared)
-                                else:
-                                    resid_dot = 0.0
-                                    dshared_norm_sq = 0.0
-                                gamma = aggregator.gamma(
-                                    AggregationStats(
-                                        formulation=self.formulation,
-                                        n=problem.n,
-                                        lam=problem.lam,
-                                        n_workers=n_arrived,
-                                        resid_dot_dshared=resid_dot,
-                                        dshared_norm_sq=dshared_norm_sq,
-                                        model_dot_dmodel=out.model_dot,
-                                        dmodel_norm_sq=out.dmodel_norm_sq,
-                                        dmodel_dot_y=out.dmodel_dot_y,
-                                    )
+                                        consec_down[rank] = 0
+                            if self.rebalance is not None and out.worker_wall:
+                                self.rebalance.record(
+                                    backend.partition_sizes(), out.worker_wall
                                 )
-                                shared += gamma * dshared
-                            else:
-                                # nothing arrived (every update lost or every
-                                # worker out): the shared vector stands and
-                                # training proceeds next epoch
-                                gamma = 0.0
-                            backend.finish_round(gamma, out)
-                        gammas.append(gamma)
-
-                        # -- time accounting --------------------------------
-                        ledger.add(out.compute_component, out.fault_free_compute_s)
-                        if backend.models_time:
-                            epoch_time = max(out.max_compute_s, out.max_wall_s)
-                            straggler_wait = (
-                                out.max_compute_s - out.fault_free_compute_s
-                            )
-                            if straggler_wait > 0.0:
-                                ledger.add("wait_straggler", straggler_wait)
-                                tracer.count(
-                                    "dist.straggler_wait_s", straggler_wait
-                                )
-                            if self.pcie is not None and out.any_computed:
-                                pcie_s = 2.0 * self.pcie.transfer_seconds(
-                                    4 * paper_shared
-                                )
-                                host_s = self.host_model.epoch_seconds(paper_shared)
-                                ledger.add("comm_pcie", pcie_s)
-                                ledger.add("compute_host", host_s)
-                                epoch_time += pcie_s + host_s
-                            net_s = backend.network_seconds(
-                                comm_bytes, aggregator.n_extra_scalars
-                            )
-                            ledger.add("comm_network", net_s)
-                            if out.retry_s > 0.0:
-                                ledger.add("comm_retry", out.retry_s)
-                            if profile.group_net_retry:
-                                epoch_time += net_s + out.retry_s
-                            else:
-                                epoch_time = epoch_time + net_s + out.retry_s
-                            sim_time += epoch_time
                     tracer.count("dist.epochs")
                     tracer.observe("dist.gamma", gamma)
                     tracer.observe("dist.survivors", n_arrived)
@@ -861,5 +1014,5 @@ class ClusterRuntime:
             report.record_to(tracer.metrics)
         return RuntimeResult(
             shared=shared, history=history, ledger=ledger, gammas=gammas,
-            report=report, tracer=tracer,
+            report=report, tracer=tracer, membership_log=membership_log,
         )

@@ -30,7 +30,77 @@ __all__ = [
     "pack_communities",
     "correlation_aware_partition",
     "make_correlation_partitioner",
+    "load_proportional_partition",
+    "make_capacity_partitioner",
+    "validate_capacities",
 ]
+
+
+def validate_capacities(capacities, n_items: int) -> np.ndarray:
+    """Normalize and sanity-check per-rank capacity shares.
+
+    Heterogeneous clusters size each rank's shard by its measured capacity
+    (coordinates per second).  Two degenerate inputs would silently produce
+    empty shards downstream, so they are rejected here with pointed errors:
+    a rank reporting zero (or negative) capacity, and more ranks than rows.
+    """
+    caps = np.asarray(capacities, dtype=np.float64)
+    if caps.ndim != 1 or caps.shape[0] < 1:
+        raise ValueError("capacities must be a non-empty 1-D sequence")
+    dead = np.flatnonzero(~(caps > 0.0))
+    if dead.size:
+        raise ValueError(
+            f"rank(s) {dead.tolist()} have zero or non-positive capacity: a "
+            "rank that can do no work must leave the cluster (membership "
+            "leave/eviction), not receive an empty shard"
+        )
+    if caps.shape[0] > n_items:
+        raise ValueError(
+            f"cannot cut {n_items} rows into {caps.shape[0]} load-"
+            "proportional shards: more ranks than rows always strands at "
+            "least one rank with an empty shard — shrink the cluster or "
+            "grow the dataset"
+        )
+    return caps
+
+
+def load_proportional_partition(
+    n_items: int, capacities, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Random partition sized by per-rank capacity (heterogeneous pools).
+
+    The synchronous epoch ends when the *slowest* rank finishes, so a mixed
+    GPU + CPU pool with equal shards idles the fast devices.  Sizing each
+    rank's shard proportional to its measured capacity equalizes per-epoch
+    wall time.  Degenerate capacities raise pointed errors (see
+    :func:`validate_capacities`) instead of emitting empty shards.
+    """
+    from .partition import proportional_partition
+
+    caps = validate_capacities(capacities, n_items)
+    return proportional_partition(n_items, caps, rng)
+
+
+def make_capacity_partitioner(capacities):
+    """A ``(n_items, n_parts, rng)`` partitioner with fixed capacity shares.
+
+    Feeds :func:`load_proportional_partition` through the standard
+    partitioner seam of the distributed engines; ``n_parts`` must match the
+    number of capacity entries.
+    """
+    caps = list(capacities)
+
+    def partitioner(
+        n_items: int, n_parts: int, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        if n_parts != len(caps):
+            raise ValueError(
+                f"capacity partitioner built for {len(caps)} ranks, "
+                f"asked to split for {n_parts}"
+            )
+        return load_proportional_partition(n_items, caps, rng)
+
+    return partitioner
 
 
 def cooccurrence_graph(
@@ -97,27 +167,40 @@ def communities_of(
 
 
 def pack_communities(
-    communities: Sequence[np.ndarray], n_parts: int
+    communities: Sequence[np.ndarray], n_parts: int, capacities=None
 ) -> list[np.ndarray]:
     """Greedy largest-first bin packing of communities onto workers.
 
     Balances coordinate counts; a community is never split, so correlated
-    coordinates always share a worker.
+    coordinates always share a worker.  With ``capacities`` (one positive
+    share per part), the pack balances *normalized* load ``count/capacity``
+    so faster ranks receive proportionally more coordinates — the
+    correlation-aware analogue of :func:`load_proportional_partition`.
     """
     if n_parts < 1:
         raise ValueError("n_parts must be >= 1")
     total = sum(c.shape[0] for c in communities)
     if total < n_parts:
         raise ValueError(
-            f"cannot fill {n_parts} parts from {total} coordinates"
+            f"cannot fill {n_parts} parts from {total} coordinates: more "
+            "ranks than coordinates always strands at least one rank with "
+            "an empty shard — shrink the cluster or grow the dataset"
         )
-    heap = [(0, k) for k in range(n_parts)]
+    weights = np.ones(n_parts)
+    if capacities is not None:
+        caps = validate_capacities(capacities, total)
+        if caps.shape[0] != n_parts:
+            raise ValueError(
+                f"got {caps.shape[0]} capacities for {n_parts} parts"
+            )
+        weights = caps / caps.sum()
+    heap = [(0.0, k) for k in range(n_parts)]
     heapq.heapify(heap)
     bins: list[list[np.ndarray]] = [[] for _ in range(n_parts)]
     for comm in sorted(communities, key=len, reverse=True):
         load, k = heapq.heappop(heap)
         bins[k].append(comm)
-        heapq.heappush(heap, (load + comm.shape[0], k))
+        heapq.heappush(heap, (load + comm.shape[0] / weights[k], k))
     parts = [
         np.sort(np.concatenate(b)) if b else np.empty(0, dtype=np.int64)
         for b in bins

@@ -1,62 +1,53 @@
-"""Asynchronous distributed SCD via a parameter server (Li et al. [6]).
+"""Deprecated shim: the async parameter server is now a CommBackend.
 
-The paper contrasts its synchronous scheme with the asynchronous
-parameter-server alternative: "a method was proposed whereby worker nodes
-perform stochastic updates of a local model and asynchronously communicate
-their model updates to a parameter server".  This module implements that
-alternative so the two distribution styles can be compared on equal footing:
+The asynchronous parameter-server alternative (Li et al. [6]) used to live
+here as a standalone engine.  It has been folded into the unified cluster
+runtime as :class:`~repro.cluster.async_backend.AsyncParamServerBackend` —
+sync vs async is now a configuration flag::
 
-* a **server** owns the shared vector;
-* each worker repeatedly (1) computes a *batch* of coordinate updates
-  against its last pulled snapshot, (2) pushes the shared-vector delta
-  (applied atomically at the server — no update is lost), (3) pulls a fresh
-  snapshot;
-* workers are scheduled round-robin, so a worker's snapshot is stale by
-  exactly ``K - 1`` other workers' batches when its next batch runs — the
-  classic bounded-staleness regime.
+    DistributedSCD(factory, "dual", n_workers=4, comm="async",
+                   batch_fraction=1 / 16, comm_overlap=0.9)
 
-Because there is no barrier, the modelled wall-clock per scheduling cycle is
-``max(batch compute) + (1 - overlap) * comm`` — pushes/pulls overlap with
-computation (``comm_overlap`` fraction), which is the mechanism by which
-asynchronous designs hide communication that the synchronous Algorithm 3
-must pay additively.
+or, through the one-call facade, ``repro.train(problem, "distributed",
+comm="async")``.  The new path also supports a bounded-staleness pull
+schedule (``staleness_bound``), fault injection (dropout/straggler) and
+elastic membership — none of which the old engine had.
+
+:class:`AsyncParameterServer` remains as a thin forwarder so existing call
+sites keep working bit-for-bit (the ``async-dual-k3`` runtime golden pins
+the trajectory through this shim).  It warns once per process, mirroring
+the ``SvmTrainResult.__iter__`` tuple-unpack latch.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from typing import Callable
 
-import numpy as np
-
-from ..cluster.comm import SimCommunicator
-from ..cluster.partition import random_partition
-from ..cluster.runtime import PermutationStream, scatter_weights
-from ..metrics import ConvergenceHistory, ConvergenceRecord
-from ..objectives.ridge import RidgeProblem, gap_and_objective
-from ..perf.ledger import TimeLedger
 from ..perf.link import Link
 from ..solvers.base import KernelFactory
-from .distributed import DistributedTrainResult
+from .distributed import DistributedSCD, DistributedTrainResult
 from .scale import PaperScale
 
 __all__ = ["AsyncParameterServer"]
 
+#: once-per-process latch — a sweep constructing many engines must not
+#: flood stderr (same pattern as ``SvmTrainResult.__iter__``)
+_ASYNC_PS_WARNED = False
+
+
+def _reset_async_ps_warning() -> None:
+    """Re-arm the once-per-process deprecation latch (test helper)."""
+    global _ASYNC_PS_WARNED
+    _ASYNC_PS_WARNED = False
+
 
 class AsyncParameterServer:
-    """Asynchronous parameter-server training engine.
+    """Deprecated forwarder to ``DistributedSCD(..., comm="async")``.
 
-    Parameters mirror :class:`~repro.core.distributed.DistributedSCD` where
-    they overlap; the distinguishing knobs are:
-
-    batch_fraction:
-        Fraction of a worker's local coordinates per push/pull batch.
-        Smaller batches mean fresher snapshots (less staleness) but more
-        communication events.
-    comm_overlap:
-        Fraction of each batch's push+pull time hidden behind computation
-        (double buffering); 1.0 models perfect overlap, 0.0 a fully
-        serialized worker loop.
+    Accepts the historical constructor signature and returns the same
+    :class:`~repro.core.distributed.DistributedTrainResult` (with
+    ``gammas=[]`` — the parameter server has no aggregation round).
     """
 
     def __init__(
@@ -71,192 +62,63 @@ class AsyncParameterServer:
         paper_scale: PaperScale | None = None,
         seed: int = 0,
     ) -> None:
-        if formulation not in ("primal", "dual"):
-            raise ValueError(f"unknown formulation {formulation!r}")
-        if n_workers < 1:
-            raise ValueError("n_workers must be >= 1")
-        if not 0.0 < batch_fraction <= 1.0:
-            raise ValueError("batch_fraction must be in (0, 1]")
-        if not 0.0 <= comm_overlap <= 1.0:
-            raise ValueError("comm_overlap must be in [0, 1]")
-        if callable(worker_factory) and not hasattr(worker_factory, "bind_primal"):
-            self._factory_for = worker_factory
-        else:
-            fac = worker_factory
-            self._factory_for = lambda rank: fac
-        self.formulation = formulation
-        self.n_workers = int(n_workers)
-        self.batch_fraction = float(batch_fraction)
-        self.comm_overlap = float(comm_overlap)
-        self.comm = (
-            SimCommunicator(self.n_workers, network)
-            if network
-            else SimCommunicator(self.n_workers)
+        global _ASYNC_PS_WARNED
+        if not _ASYNC_PS_WARNED:
+            _ASYNC_PS_WARNED = True
+            warnings.warn(
+                "repro.core.async_ps.AsyncParameterServer is deprecated; "
+                "use DistributedSCD(..., comm='async') or "
+                "repro.train(problem, 'distributed', comm='async') instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self._engine = DistributedSCD(
+            worker_factory,
+            formulation,
+            n_workers=n_workers,
+            network=network,
+            paper_scale=paper_scale,
+            seed=seed,
+            comm="async",
+            batch_fraction=batch_fraction,
+            comm_overlap=comm_overlap,
         )
-        self.paper_scale = paper_scale
-        self.seed = int(seed)
-        self._solver_label = ""
 
     @property
     def name(self) -> str:
-        return (
-            f"AsyncPS[{self._solver_label or 'SCD'} x{self.n_workers}, "
-            f"b={self.batch_fraction:g}, {self.formulation}]"
-        )
+        return self._engine.name
 
-    # -- setup (mirrors the synchronous engine's worker construction) -------
-    def _build(self, problem: RidgeProblem):
-        rng = np.random.default_rng(self.seed)
-        if self.formulation == "primal":
-            matrix, n_total = problem.dataset.csc, problem.m
-        else:
-            matrix, n_total = problem.dataset.csr, problem.n
-        parts = random_partition(n_total, self.n_workers, rng)
-        total_nnz = matrix.nnz
-        workers = []
-        for rank, coords in enumerate(parts):
-            local = matrix.take_major(coords)
-            factory = self._factory_for(rank)
-            if self.paper_scale is not None:
-                factory.timing_workload = self.paper_scale.worker_workload(
-                    self.formulation,
-                    coords.shape[0] / n_total,
-                    (local.nnz / total_nnz) if total_nnz else 0.0,
-                )
-            if self.formulation == "primal":
-                bound = factory.bind_primal(local, problem.y, problem.n, problem.lam)
-            else:
-                bound = factory.bind_dual(
-                    local, problem.y[coords], problem.n, problem.lam
-                )
-            if not self._solver_label:
-                self._solver_label = factory.name
-            rng = np.random.default_rng(self.seed + 2000 + rank)
-            workers.append(
-                {
-                    "coords": coords,
-                    "bound": bound,
-                    "weights": np.zeros(coords.shape[0], dtype=bound.dtype),
-                    "rng": rng,
-                    # shares ``rng`` with the kernel, like the sync runtime
-                    "stream": PermutationStream(coords.shape[0], rng),
-                    "snapshot": None,
-                    "epoch_seconds": bound.epoch_seconds(),
-                }
-            )
-        return workers
+    @property
+    def formulation(self) -> str:
+        return self._engine.formulation
 
-    def _shared_len(self, problem: RidgeProblem) -> int:
-        return problem.n if self.formulation == "primal" else problem.m
+    @property
+    def n_workers(self) -> int:
+        return self._engine.n_workers
 
-    def _gap(self, weights: np.ndarray, problem: RidgeProblem):
-        return gap_and_objective(problem, weights, self.formulation)
+    @property
+    def batch_fraction(self) -> float:
+        return self._engine.batch_fraction
 
-    def _global_weights(self, workers, problem) -> np.ndarray:
-        n_coords = problem.m if self.formulation == "primal" else problem.n
-        return scatter_weights(
-            ((wk["coords"], wk["weights"]) for wk in workers), n_coords
-        )
+    @property
+    def comm_overlap(self) -> float:
+        return self._engine.comm_overlap
 
-    # -- training -------------------------------------------------------------
+    @property
+    def seed(self) -> int:
+        return self._engine.seed
+
     def solve(
         self,
-        problem: RidgeProblem,
+        problem,
         n_epochs: int,
         *,
         monitor_every: int = 1,
         target_gap: float | None = None,
     ) -> DistributedTrainResult:
-        """Train for up to ``n_epochs`` epoch-equivalents of updates.
-
-        One "epoch" = every worker passing once over its local coordinates,
-        i.e. ``ceil(1 / batch_fraction)`` scheduling cycles.  Monitoring and
-        early stopping are per epoch-equivalent, as in the synchronous
-        engine.
-        """
-        if n_epochs < 0:
-            raise ValueError("n_epochs must be non-negative")
-        if monitor_every < 1:
-            raise ValueError("monitor_every must be >= 1")
-        workers = self._build(problem)
-        shared = np.zeros(self._shared_len(problem), dtype=np.float64)
-        for wk in workers:
-            wk["snapshot"] = shared.copy()
-        history = ConvergenceHistory(label=self.name)
-        ledger = TimeLedger()
-        if self.paper_scale is not None:
-            vec_bytes = 4 * self.paper_scale.shared_len(self.formulation)
-        else:
-            vec_bytes = 4 * shared.shape[0]
-        # point-to-point push + pull per batch per worker; K workers push to
-        # one server whose NIC serializes them within a cycle
-        push_pull_s = 2.0 * self.comm.link.transfer_seconds(vec_bytes)
-        cycles_per_epoch = int(np.ceil(1.0 / self.batch_fraction))
-
-        t0 = time.perf_counter()
-        weights = self._global_weights(workers, problem)
-        gap, obj = self._gap(weights, problem)
-        history.append(
-            ConvergenceRecord(
-                epoch=0, gap=gap, objective=obj, sim_time=0.0, wall_time=0.0, updates=0
-            )
-        )
-        sim_time = 0.0
-        updates = 0
-        compute_component = "compute_host"
-        for epoch in range(1, n_epochs + 1):
-            for _cycle in range(cycles_per_epoch):
-                max_batch = 0.0
-                for wk in workers:
-                    bound = wk["bound"]
-                    n_batch = max(
-                        1,
-                        int(round(self.batch_fraction * wk["coords"].shape[0])),
-                    )
-                    perm = wk["stream"].take(n_batch)
-                    local_view = wk["snapshot"].astype(bound.dtype)
-                    before = local_view.copy()
-                    bound.run_epoch(wk["weights"], local_view, perm, wk["rng"])
-                    delta = local_view.astype(np.float64) - before.astype(np.float64)
-                    # push: atomic server-side application (all updates land)
-                    shared += delta
-                    # pull: fresh snapshot for the worker's next batch
-                    wk["snapshot"] = shared.copy()
-                    max_batch = max(
-                        max_batch, wk["epoch_seconds"] * self.batch_fraction
-                    )
-                    compute_component = bound.timing.component
-                    updates += perm.shape[0]
-                comm_exposed = (1.0 - self.comm_overlap) * (
-                    push_pull_s if self.n_workers > 1 else 0.0
-                )
-                cycle_s = max_batch + comm_exposed
-                ledger.add(compute_component, max_batch)
-                ledger.add("comm_network", comm_exposed)
-                sim_time += cycle_s
-            if epoch % monitor_every == 0 or epoch == n_epochs:
-                weights = self._global_weights(workers, problem)
-                gap, obj = self._gap(weights, problem)
-                history.append(
-                    ConvergenceRecord(
-                        epoch=epoch,
-                        gap=gap,
-                        objective=obj,
-                        sim_time=sim_time,
-                        wall_time=time.perf_counter() - t0,
-                        updates=updates,
-                    )
-                )
-                if target_gap is not None and gap <= target_gap:
-                    break
-
-        return DistributedTrainResult(
-            formulation=self.formulation,
-            weights=self._global_weights(workers, problem),
-            shared=shared,
-            history=history,
-            ledger=ledger,
-            partitions=[wk["coords"] for wk in workers],
-            solver_name=self.name,
-            gammas=[],
+        return self._engine.solve(
+            problem,
+            n_epochs,
+            monitor_every=monitor_every,
+            target_gap=target_gap,
         )

@@ -24,24 +24,28 @@ read-out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
+from ..cluster.async_backend import AsyncParamServerBackend
 from ..cluster.comm import SimCommunicator
 from ..cluster.faults import FaultInjector, FaultReport, FaultSpec, make_fault_injector
+from ..cluster.membership import LoadBalancer, MembershipSchedule
 from ..cluster.partition import random_partition
 from ..cluster.runtime import (
     ClusterRuntime,
     FaultPolicy,
     InProcessBackend,
     PermutationStream,
+    RuntimeProfile,
     WorkerUpdate,
     plan_partitions,
     scatter_weights,
     shared_sizing,
 )
+from ..cluster.smart_partition import make_capacity_partitioner
 from ..objectives.ridge import RidgeProblem, gap_and_objective
 from ..perf.link import Link
 from ..shards import ShardingConfig, ShardStore, ShardStreamer
@@ -86,6 +90,16 @@ class _WorkerState:
     streamer: ShardStreamer | None = None
 
 
+#: span surface of the asynchronous backend: the parameter server has no
+#: aggregate round, and the retired engine recorded no per-epoch extras
+_ASYNC_PROFILE = RuntimeProfile(
+    root_span="async_ps.train",
+    local_compute_span=False,
+    aggregate_span=False,
+    extras="none",
+)
+
+
 @dataclass(kw_only=True)
 class DistributedTrainResult(TrainResult):
     """Outcome of a distributed run — the canonical shape plus cluster detail."""
@@ -94,6 +108,8 @@ class DistributedTrainResult(TrainResult):
     gammas: list[float]
     #: populated when a :class:`FaultInjector` was installed, else ``None``
     fault_report: FaultReport | None = None
+    #: applied membership/rebalance steps (empty for static pools)
+    membership_log: list = field(default_factory=list)
 
 
 class _ScdWorkerPool:
@@ -110,6 +126,8 @@ class _ScdWorkerPool:
         self.engine = engine
         self.n_workers = engine.n_workers
         self.workers: list[_WorkerState] = []
+        #: bumps on every repartition; salts the reborn workers' RNG seeds
+        self._generation = 0
 
     def bind(self, problem: RidgeProblem, tracer) -> None:
         eng = self.engine
@@ -218,6 +236,99 @@ class _ScdWorkerPool:
     def streamer(self, rank: int):
         return self.workers[rank].streamer
 
+    def partition_sizes(self) -> list[int]:
+        return [wk.coords.shape[0] for wk in self.workers]
+
+    def repartition(
+        self, problem: RidgeProblem, tracer, n_workers: int, capacities=None
+    ) -> None:
+        """Elastic membership: re-deal the coordinates over ``n_workers``.
+
+        The learned global model is assembled first and every new worker
+        starts from its slice of it, so the reshuffle moves no information —
+        only ownership.  Out-of-core runs stay shard-aligned (the new parts
+        are the store's ``n_workers``-way shard groups); in-memory runs use
+        measured ``capacities`` (load-proportional) when given, else the
+        engine's partitioner.  Worker RNG streams restart at a
+        generation-salted seed: a departed worker's stream must not be
+        replayed by whichever rank inherits its coordinates.
+        """
+        eng = self.engine
+        if eng.formulation == "primal":
+            matrix = problem.dataset.csc
+            n_coords_total = problem.m
+        else:
+            matrix = problem.dataset.csr
+            n_coords_total = problem.n
+        global_w = self.global_weights(problem)
+        for wk in self.workers:
+            if wk.streamer is not None:
+                wk.streamer.close()
+        self._generation += 1
+        gen = self._generation
+        groups = None
+        if eng.shards is not None:
+            groups = eng.shards.store.partition(n_workers)
+            parts = [eng.shards.store.coords_of(g) for g in groups]
+        else:
+            rng = np.random.default_rng(eng.seed + 7_000_000 + 10_000 * gen)
+            if capacities is not None:
+                from ..cluster.smart_partition import load_proportional_partition
+
+                parts = load_proportional_partition(
+                    n_coords_total, capacities, rng
+                )
+            else:
+                parts = list(eng.partitioner(n_coords_total, n_workers, rng))
+        total_nnz = matrix.nnz
+        self.workers = []
+        for rank, coords in enumerate(parts):
+            streamer = None
+            if groups is not None:
+                streamer = ShardStreamer(
+                    eng.shards, groups[rank], tracer=tracer, worker=rank
+                )
+                local = streamer.assemble()
+            else:
+                local = matrix.take_major(coords)
+            factory = eng._factory_for(rank)
+            if tracer is not None and tracer.enabled:
+                factory.tracer = tracer
+            if streamer is not None:
+                factory.out_of_core = True
+            if eng.paper_scale is not None:
+                factory.timing_workload = eng.paper_scale.worker_workload(
+                    eng.formulation,
+                    coords.shape[0] / n_coords_total,
+                    (local.nnz / total_nnz) if total_nnz else 0.0,
+                )
+            if eng.formulation == "primal":
+                bound = factory.bind_primal(local, problem.y, problem.n, problem.lam)
+                y_local = problem.y
+            else:
+                y_local = problem.y[coords]
+                bound = factory.bind_dual(local, y_local, problem.n, problem.lam)
+            if streamer is not None:
+                device = getattr(factory, "device", None)
+                if device is not None:
+                    streamer.attach_device(device.memory)
+            rng = np.random.default_rng(
+                eng.seed + 1000 + rank + 100_000 * gen
+            )
+            self.workers.append(
+                _WorkerState(
+                    coords=coords,
+                    bound=bound,
+                    weights=global_w[coords].astype(bound.dtype),
+                    y_local=y_local.astype(bound.dtype, copy=False),
+                    rng=rng,
+                    epoch_compute_s=bound.epoch_seconds(),
+                    stream=PermutationStream(coords.shape[0], rng),
+                    streamer=streamer,
+                )
+            )
+        self.n_workers = int(n_workers)
+
     def global_weights(self, problem: RidgeProblem) -> np.ndarray:
         n_coords = problem.m if self.engine.formulation == "primal" else problem.n
         return scatter_weights(
@@ -316,6 +427,13 @@ class DistributedSCD:
         round_fraction: float = 1.0,
         faults: FaultInjector | FaultSpec | str | None = None,
         shards: ShardingConfig | ShardStore | None = None,
+        comm: str = "sync",
+        batch_fraction: float = 1 / 16,
+        comm_overlap: float = 0.9,
+        staleness_bound: int = 0,
+        membership: MembershipSchedule | Sequence | None = None,
+        rebalance_every: int = 0,
+        capacities: Sequence[float] | None = None,
     ) -> None:
         if formulation not in ("primal", "dual"):
             raise ValueError(f"unknown formulation {formulation!r}")
@@ -323,6 +441,32 @@ class DistributedSCD:
             raise ValueError("n_workers must be >= 1")
         if not 0.0 < round_fraction <= 1.0:
             raise ValueError("round_fraction must be in (0, 1]")
+        if comm not in ("sync", "async"):
+            raise ValueError(f"unknown comm mode {comm!r}; use 'sync' or 'async'")
+        if not 0.0 < batch_fraction <= 1.0:
+            raise ValueError("batch_fraction must be in (0, 1]")
+        if not 0.0 <= comm_overlap <= 1.0:
+            raise ValueError("comm_overlap must be in [0, 1]")
+        if staleness_bound < 0:
+            raise ValueError("staleness_bound must be >= 0")
+        if rebalance_every < 0:
+            raise ValueError("rebalance_every must be >= 0")
+        if comm == "async":
+            if pcie is not None:
+                raise ValueError(
+                    "the async parameter-server backend has no PCIe data "
+                    "path; use comm='sync' for the Section V GPU cluster"
+                )
+            if shards is not None:
+                raise ValueError(
+                    "the async parameter-server backend does not stream "
+                    "shards; use comm='sync' for out-of-core runs"
+                )
+            if round_fraction != 1.0:
+                raise ValueError(
+                    "round_fraction is a synchronous knob; tune "
+                    "batch_fraction for comm='async'"
+                )
         self._factory_for: Callable[[int], KernelFactory]
         if callable(worker_factory) and not hasattr(worker_factory, "bind_primal"):
             self._factory_for = worker_factory  # type: ignore[assignment]
@@ -339,8 +483,20 @@ class DistributedSCD:
         self.host_model = host_model or (HostModel() if pcie else None)
         self.paper_scale = paper_scale
         self.seed = int(seed)
+        if partitioner is None and capacities is not None:
+            partitioner = make_capacity_partitioner(capacities)
         self.partitioner = partitioner or random_partition
         self.round_fraction = float(round_fraction)
+        self.comm_mode = comm
+        self.batch_fraction = float(batch_fraction)
+        self.comm_overlap = float(comm_overlap)
+        self.staleness_bound = int(staleness_bound)
+        if membership is not None and not isinstance(membership, MembershipSchedule):
+            membership = MembershipSchedule(membership)
+        self.membership = membership
+        self.rebalance = LoadBalancer(rebalance_every) if rebalance_every else None
+        #: populated by :meth:`solve`: applied membership/rebalance steps
+        self.membership_log: list = []
         self.faults = make_fault_injector(faults)
         if isinstance(shards, ShardStore):
             shards = ShardingConfig(store=shards)
@@ -357,11 +513,20 @@ class DistributedSCD:
 
     @property
     def name(self) -> str:
+        if self.comm_mode == "async":
+            return (
+                f"AsyncPS[{self._solver_label or 'SCD'} x{self.n_workers}, "
+                f"b={self.batch_fraction:g}, {self.formulation}]"
+            )
         agg = self.aggregator.name
         return (
             f"Distributed[{self._solver_label or 'SCD'} x{self.n_workers}, "
             f"{agg}, {self.formulation}]"
         )
+
+    def _set_label(self, label: str) -> None:
+        if not self._solver_label:
+            self._solver_label = label
 
     # -- training ------------------------------------------------------------------
     def solve(
@@ -374,15 +539,35 @@ class DistributedSCD:
         tracer=None,
         on_epoch=None,
     ) -> DistributedTrainResult:
-        pool = _ScdWorkerPool(self)
+        pool = None
+        if self.comm_mode == "async":
+            backend = AsyncParamServerBackend(
+                self.comm,
+                self._factory_for,
+                self.formulation,
+                batch_fraction=self.batch_fraction,
+                comm_overlap=self.comm_overlap,
+                staleness_bound=self.staleness_bound,
+                paper_scale=self.paper_scale,
+                seed=self.seed,
+                on_label=self._set_label,
+            )
+            profile = _ASYNC_PROFILE
+        else:
+            pool = _ScdWorkerPool(self)
+            backend = InProcessBackend(self.comm, pool)
+            profile = None
         runtime = ClusterRuntime(
-            backend=InProcessBackend(self.comm, pool),
+            backend=backend,
             aggregator=self.aggregator,
             formulation=self.formulation,
             faults=FaultPolicy(injector=self.faults, retry=self.comm.retry),
+            profile=profile,
             name=lambda: self.name,
             pcie=self.pcie,
             host_model=self.host_model,
+            membership=self.membership,
+            rebalance=self.rebalance,
         )
         shared_len, comm_bytes, paper_shared = shared_sizing(
             self.formulation, problem, self.paper_scale
@@ -399,16 +584,24 @@ class DistributedSCD:
             on_epoch=on_epoch,
         )
         self._last_report = rt.report
+        self.membership_log = rt.membership_log
+        if self.comm_mode == "async":
+            weights = backend.global_weights(problem)
+            partitions = [wk["coords"] for wk in backend.workers]
+        else:
+            weights = pool.global_weights(problem)
+            partitions = [wk.coords for wk in pool.workers]
         return DistributedTrainResult(
             formulation=self.formulation,
-            weights=pool.global_weights(problem),
+            weights=weights,
             shared=rt.shared,
             history=rt.history,
             ledger=rt.ledger,
-            partitions=[wk.coords for wk in pool.workers],
+            partitions=partitions,
             solver_name=self.name,
             gammas=rt.gammas,
             fault_report=rt.report,
+            membership_log=rt.membership_log,
             trace=rt.tracer if rt.tracer.enabled else None,
             metrics=rt.tracer.metrics if rt.tracer.enabled else None,
         )

@@ -21,14 +21,16 @@ the CPU cost models and the binomial-tree communicator.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..cluster.comm import SimCommunicator
 from ..cluster.faults import FaultInjector, FaultReport, FaultSpec, make_fault_injector
+from ..cluster.membership import LoadBalancer, MembershipSchedule
 from ..cluster.partition import random_partition
+from ..cluster.smart_partition import load_proportional_partition
 from ..cluster.runtime import (
     ClusterRuntime,
     FaultPolicy,
@@ -78,6 +80,8 @@ class SvmTrainResult(TrainResult):
 
     alpha: np.ndarray
     fault_report: FaultReport | None = None
+    #: applied membership/rebalance steps, in epoch order (empty when static)
+    membership_log: list = field(default_factory=list)
 
     def primal_weights(self, problem=None) -> np.ndarray:
         """The SVM's shared vector *is* the primal model."""
@@ -113,6 +117,36 @@ class _SvmWorkerPool:
         self.workers: list[dict] = []
         self.problem: SvmProblem | None = None
         self.timing: SequentialCpuTiming | None = None
+        self._generation = 0
+
+    def _bind_worker(
+        self, rank, rows, csr, y, tracer, groups, rng_seed, alpha_global=None
+    ) -> dict:
+        eng = self.engine
+        streamer = None
+        if groups is not None:
+            streamer = ShardStreamer(
+                eng.shards, groups[rank], tracer=tracer, worker=rank
+            )
+            local = streamer.assemble()
+        else:
+            local = csr.take_rows(rows)
+        if alpha_global is None:
+            alpha = np.zeros(rows.shape[0])
+        else:
+            alpha = alpha_global[rows].copy()
+        return {
+            "rows": rows,
+            "indptr": local.indptr,
+            "indices": local.indices,
+            "data": local.data.astype(np.float64),
+            "norms": local.row_norms_sq().astype(np.float64),
+            "y": y[rows],
+            "alpha": alpha,
+            "rng": np.random.default_rng(rng_seed),
+            "nnz": local.nnz,
+            "streamer": streamer,
+        }
 
     def bind(self, problem: SvmProblem, tracer) -> None:
         eng = self.engine
@@ -124,29 +158,55 @@ class _SvmWorkerPool:
         )
         y = problem.y.astype(np.float64)
         for rank, rows in enumerate(parts):
-            streamer = None
-            if groups is not None:
-                streamer = ShardStreamer(
-                    eng.shards, groups[rank], tracer=tracer, worker=rank
-                )
-                local = streamer.assemble()
-            else:
-                local = csr.take_rows(rows)
             self.workers.append(
-                {
-                    "rows": rows,
-                    "indptr": local.indptr,
-                    "indices": local.indices,
-                    "data": local.data.astype(np.float64),
-                    "norms": local.row_norms_sq().astype(np.float64),
-                    "y": y[rows],
-                    "alpha": np.zeros(rows.shape[0]),
-                    "rng": np.random.default_rng(eng.seed + 1000 + rank),
-                    "nnz": local.nnz,
-                    "streamer": streamer,
-                }
+                self._bind_worker(
+                    rank, rows, csr, y, tracer, groups, eng.seed + 1000 + rank
+                )
             )
         self.timing = SequentialCpuTiming(eng.spec)
+
+    def partition_sizes(self) -> list[int]:
+        return [wk["rows"].shape[0] for wk in self.workers]
+
+    def repartition(
+        self, problem: SvmProblem, tracer, n_workers: int, capacities=None
+    ) -> None:
+        """Elastic membership: re-deal the examples across ``n_workers``.
+
+        The learned dual variables are preserved — the global ``alpha`` is
+        assembled from the departing pool and sliced back out along the new
+        partition, so the run continues from the same dual point.  Reborn
+        workers draw from generation-salted RNG streams (a rank id is reused
+        across generations; its permutation stream must not be).
+        """
+        eng = self.engine
+        alpha_global = self.alpha_global()
+        for wk in self.workers:
+            if wk["streamer"] is not None:
+                wk["streamer"].close()
+        self._generation += 1
+        gen = self._generation
+        csr = problem.dataset.csr
+        if eng.shards is not None:
+            groups = eng.shards.store.partition(n_workers)
+            parts = [eng.shards.store.coords_of(g) for g in groups]
+        else:
+            groups = None
+            rng = np.random.default_rng(eng.seed + 7_000_000 + 10_000 * gen)
+            if capacities is not None:
+                parts = load_proportional_partition(problem.n, capacities, rng)
+            else:
+                parts = eng.partitioner(problem.n, n_workers, rng)
+        y = problem.y.astype(np.float64)
+        self.workers = [
+            self._bind_worker(
+                rank, rows, csr, y, tracer, groups,
+                eng.seed + 1000 + rank + 100_000 * gen,
+                alpha_global=alpha_global,
+            )
+            for rank, rows in enumerate(parts)
+        ]
+        self.n_workers = int(n_workers)
 
     def local_round(self, rank: int, shared: np.ndarray) -> WorkerUpdate:
         eng = self.engine
@@ -263,11 +323,15 @@ class DistributedSvm:
         faults: FaultInjector | FaultSpec | str | None = None,
         partitioner=None,
         shards: ShardingConfig | ShardStore | None = None,
+        membership: MembershipSchedule | Sequence | None = None,
+        rebalance_every: int = 0,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if sigma_prime <= 0:
             raise ValueError("sigma_prime must be positive")
+        if rebalance_every < 0:
+            raise ValueError("rebalance_every must be >= 0")
         self.n_workers = int(n_workers)
         self.sigma_prime = float(sigma_prime)
         self.comm = (
@@ -288,6 +352,12 @@ class DistributedSvm:
                 "DistributedSvm partitions examples: needs a 'rows'-axis "
                 f"shard set, got {self.shards.store.axis!r}"
             )
+        if membership is not None and not isinstance(membership, MembershipSchedule):
+            membership = MembershipSchedule(membership)
+        self.membership = membership
+        self.rebalance = LoadBalancer(rebalance_every) if rebalance_every else None
+        #: populated by :meth:`solve`: applied membership/rebalance steps
+        self.membership_log: list = []
         #: populated by :meth:`solve` when fault injection is active
         self.fault_report: FaultReport | None = None
         self.name = f"DistributedSVM[x{self.n_workers}, sigma'={sigma_prime:g}]"
@@ -317,6 +387,8 @@ class DistributedSvm:
             ),
             profile=_SVM_PROFILE,
             name=lambda: self.name,
+            membership=self.membership,
+            rebalance=self.rebalance,
         )
         shared_bytes = 4 * (
             self.paper_scale.n_features if self.paper_scale else problem.m
@@ -332,6 +404,7 @@ class DistributedSvm:
             on_epoch=on_epoch,
         )
         self.fault_report = rt.report
+        self.membership_log = rt.membership_log
         return SvmTrainResult(
             formulation="dual",
             weights=rt.shared,
@@ -341,6 +414,7 @@ class DistributedSvm:
             ledger=rt.ledger,
             alpha=pool.alpha_global(),
             fault_report=rt.report,
+            membership_log=rt.membership_log,
             trace=rt.tracer if rt.tracer.enabled else None,
             metrics=rt.tracer.metrics if rt.tracer.enabled else None,
         )

@@ -21,7 +21,6 @@ import numpy as np
 from ..cluster.partition import proportional_partition
 from ..cluster.smart_partition import make_correlation_partitioner
 from ..core.aggregation import ScaledAggregator
-from ..core.async_ps import AsyncParameterServer
 from ..core.glm_tpa import TpaElasticNet, TpaSvm
 from ..core.distributed import DistributedSCD
 from ..data.synthetic import make_block_correlated
@@ -224,10 +223,11 @@ def run_async_vs_sync(scale: ScaleConfig | None = None) -> FigureResult:
         )
     )
     for bf, label in ((0.25, "async batch=1/4 (too stale)"), (1 / 16, "async batch=1/16")):
-        eng = AsyncParameterServer(
+        eng = DistributedSCD(
             SequentialKernelFactory(),
             "dual",
             n_workers=4,
+            comm="async",
             batch_fraction=bf,
             paper_scale=paper,
             seed=3,

@@ -134,6 +134,7 @@ def _populate() -> None:
     )
     from .faults import run_fault_breakdown, run_fault_tolerance
     from .gpu_cluster import run_fig8, run_fig9
+    from .elastic_fig import run_elastic
     from .headline import run_headline
     from .large_scale import run_fig10, run_fig10_outofcore
     from .serving_fig import run_serving
@@ -297,6 +298,14 @@ def _populate() -> None:
         run_syscd_scaling,
         kind="scenario",
         params=("threads", "buckets", "merge_every"),
+    )
+
+    register(
+        "elastic",
+        "Elastic membership — fixed vs join/leave cluster on one seed",
+        run_elastic,
+        kind="scenario",
+        params=("workers", "comm", "rebalance_every", "seed"),
     )
 
 

@@ -24,7 +24,7 @@ suite of epoch micro-benchmarks over a fixed synthetic problem:
 
 ``run_suite`` writes a ``repro.bench/v1`` payload with the **median**
 wall-clock epoch time per case.  Baselines are committed at the repo root
-as ``BENCH_PR<k>.json`` — one per landmark PR (``BENCH_PR9.json`` is the
+as ``BENCH_PR<k>.json`` — one per landmark PR (``BENCH_PR10.json`` is the
 newest); :func:`latest_baseline` resolves the current one and
 :func:`render_trajectory` shows how each case moved across them.
 Machines differ, so the regression gate compares
@@ -72,6 +72,7 @@ _GATED_CASES = (
     "tpa_wave_seed",
     "tpa_wave_planned",
     "distributed",
+    "elastic_rebalance",
     "serving",
     "syscd_threads",
 )
@@ -224,6 +225,35 @@ def _case_distributed(problem, profile: BenchProfile) -> list[float]:
     return _time_epochs(run_one, profile)
 
 
+def _case_elastic_rebalance(problem, profile: BenchProfile) -> list[float]:
+    """One elastic run per rep: a heterogeneous 4-rank cluster that loses a
+    rank mid-run, regains one later, and rebalances from measured walls.
+
+    This prices the full membership machinery — repartition with state
+    carry-over, generation-salted worker rebinds, and the load balancer's
+    EMA bookkeeping — not just a static epoch, so regressions in the elastic
+    path show up even when the fixed-membership ``distributed`` case is flat.
+    """
+    from ..core.distributed import DistributedSCD
+    from ..solvers.scd import SequentialKernelFactory
+
+    n_epochs = 5
+
+    def run_one():
+        engine = DistributedSCD(
+            SequentialKernelFactory(),
+            "primal",
+            n_workers=4,
+            capacities=[2.0, 1.0, 1.0, 1.0],
+            membership=[(2, "leave"), (4, "join")],
+            rebalance_every=2,
+            seed=profile.seed,
+        )
+        engine.solve(problem, n_epochs, monitor_every=n_epochs)
+
+    return [t / n_epochs for t in _time_epochs(run_one, profile)]
+
+
 def _case_serving(problem, profile: BenchProfile) -> tuple[list[float], int]:
     """Time a fixed seeded traffic replay; also returns the rows scored.
 
@@ -301,6 +331,7 @@ def run_suite(profile: str | BenchProfile = "default") -> dict:
     record("tpa_wave_seed", _case_tpa(problem, prof, planned=False))
     record("tpa_wave_planned", _case_tpa(problem, prof, planned=True))
     record("distributed", _case_distributed(problem, prof))
+    record("elastic_rebalance", _case_elastic_rebalance(problem, prof))
     record("syscd_ref", _case_syscd(problem, prof, 1))
     record("syscd_threads", _case_syscd(problem, prof, prof.syscd_threads))
     cases["syscd_threads"]["n_threads"] = prof.syscd_threads

@@ -1,0 +1,106 @@
+"""Golden scenarios for the elastic/async runtime paths (PR 10).
+
+The static-membership trajectories are pinned by ``tests/runtime_scenarios.py``
+(which must stay bitwise across refactors).  This module pins the *new*
+trajectories this growth step introduced: the async backend's bounded
+staleness schedule, elastic membership (joins, leaves, churn, eviction),
+load-proportional rebalancing, and their composition with fault injection.
+``tools/capture_elastic_goldens.py`` writes ``tests/data/elastic_goldens.json``;
+``tests/test_elastic_goldens.py`` replays every scenario bitwise.
+
+Scenario problems reuse the runtime matrix's seeded builders, so captures
+and replays are identical across machines.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.faults import FaultSpec
+from repro.cluster.membership import MembershipSchedule
+from repro.core import DistributedSCD
+from repro.core.distributed_svm import DistributedSvm
+from repro.solvers.scd import SequentialKernelFactory
+
+from .runtime_scenarios import _ridge, _svm, fingerprint
+
+__all__ = ["ELASTIC_SCENARIOS", "run_elastic_scenario"]
+
+
+def _scd(formulation="dual", k=3, **kw):
+    return DistributedSCD(
+        SequentialKernelFactory(), formulation, n_workers=k, seed=7, **kw
+    )
+
+
+def _async(k=3, **kw):
+    return _scd("dual", k, comm="async", batch_fraction=0.25, **kw)
+
+
+ELASTIC_SCENARIOS: dict = {
+    # -- the async backend beyond the bitwise-pinned legacy path ------------
+    "async-staleness-b2": lambda: _async(3, staleness_bound=2).solve(
+        _ridge(), 3
+    ),
+    "async-primal-k4": lambda: _scd(
+        "primal", 4, comm="async", batch_fraction=0.125
+    ).solve(_ridge(), 3),
+    "async-dropout": lambda: _async(
+        3, faults=FaultSpec(dropout_rate=0.4, seed=2)
+    ).solve(_ridge(), 4),
+    # -- elastic membership through the synchronous runtime -----------------
+    "elastic-join-leave": lambda: _scd(
+        "dual", 3, membership=[(2, "join"), (4, "leave")]
+    ).solve(_ridge(), 5),
+    "elastic-churn": lambda: _scd(
+        "dual", 3,
+        membership=MembershipSchedule(
+            churn_seed=5, join_prob=0.4, leave_prob=0.4,
+            min_workers=2, max_workers=5,
+        ),
+    ).solve(_ridge(), 6),
+    "elastic-evict": lambda: _scd(
+        "dual", 3,
+        faults=FaultSpec(dropout_rate=1.0, seed=1),
+        membership=MembershipSchedule(evict_after=2, min_workers=1),
+    ).solve(_ridge(), 5),
+    # -- load-proportional heterogeneous pools ------------------------------
+    "elastic-capacities": lambda: _scd(
+        "dual", 3, capacities=[2.0, 1.0, 1.0]
+    ).solve(_ridge(), 4),
+    "elastic-rebalance": lambda: _scd(
+        "dual", 3,
+        faults=FaultSpec(straggler_rate=0.5, straggler_multiplier=8.0, seed=0),
+        rebalance_every=2,
+    ).solve(_ridge(), 6),
+    # -- elastic async and elastic SVM --------------------------------------
+    "async-elastic": lambda: _async(
+        3, membership=[(2, "join"), (4, "leave")]
+    ).solve(_ridge(), 5),
+    "svm-elastic": lambda: DistributedSvm(
+        n_workers=3, seed=3, membership=[(2, "join"), (4, "leave")]
+    ).solve(_svm(), 5),
+}
+
+
+def _membership_fp(res) -> list[dict]:
+    return [
+        {
+            "epoch": r.epoch,
+            "k_before": r.k_before,
+            "k_after": r.k_after,
+            "joins": r.joins,
+            "leaves": r.leaves,
+            "evictions": r.evictions,
+            "rebalanced": r.rebalanced,
+            "dropped_stale": r.dropped_stale,
+            "capacities": r.capacities,
+        }
+        for r in getattr(res, "membership_log", [])
+    ]
+
+
+def run_elastic_scenario(name: str) -> dict:
+    """Run one scenario and return its (extended) fingerprint."""
+    res = ELASTIC_SCENARIOS[name]()
+    fp = fingerprint(res, modelled_time=True)
+    fp["membership"] = _membership_fp(res)
+    return fp

@@ -1,0 +1,304 @@
+"""The async parameter server as a CommBackend (``comm="async"``).
+
+The retired ``repro.core.async_ps`` engine re-landed on the runtime's
+CommBackend seam; these tests pin the seam-level guarantees the golden
+replay (``async-dual-k3`` in ``tests/test_runtime.py``) cannot see: the
+deprecation shim's latch, the facade/shim bitwise equivalence, the
+bounded-staleness pull schedule, fault semantics (dropout/straggler only —
+pushes are atomic), elastic membership through the server, and the
+``train()`` front door.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cluster.async_backend import AsyncParamServerBackend
+from repro.cluster.faults import FaultSpec
+from repro.cluster.membership import MembershipSchedule
+from repro.core import AsyncParameterServer, DistributedSCD
+from repro.core import async_ps as async_ps_module
+from repro.core.async_ps import _reset_async_ps_warning
+from repro.data import make_webspam_like
+from repro.objectives import RidgeProblem
+from repro.solvers.scd import SequentialKernelFactory
+
+
+def _ridge():
+    return RidgeProblem(
+        make_webspam_like(120, 200, nnz_per_example=10, seed=3), lam=5e-3
+    )
+
+
+def _async_engine(k=3, bf=0.25, **kw):
+    return DistributedSCD(
+        SequentialKernelFactory(), "dual", n_workers=k, seed=7,
+        comm="async", batch_fraction=bf, **kw,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the deprecation shim
+# ---------------------------------------------------------------------------
+class TestDeprecationShim:
+    def test_warns_once_per_process(self):
+        _reset_async_ps_warning()
+        with pytest.warns(DeprecationWarning, match="comm='async'"):
+            AsyncParameterServer(SequentialKernelFactory(), "dual", n_workers=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            AsyncParameterServer(SequentialKernelFactory(), "dual", n_workers=2)
+
+    def test_reset_rearms_the_latch(self):
+        _reset_async_ps_warning()
+        with pytest.warns(DeprecationWarning):
+            AsyncParameterServer(SequentialKernelFactory(), "dual", n_workers=2)
+        _reset_async_ps_warning()
+        with pytest.warns(DeprecationWarning):
+            AsyncParameterServer(SequentialKernelFactory(), "dual", n_workers=2)
+
+    def test_shim_matches_facade_bitwise(self):
+        """The shim is a pure forwarder: same seeds, same trajectory."""
+        problem = _ridge()
+        _reset_async_ps_warning()
+        with pytest.warns(DeprecationWarning):
+            shim = AsyncParameterServer(
+                SequentialKernelFactory(), "dual", n_workers=3,
+                batch_fraction=0.25, seed=7,
+            )
+        old = shim.solve(problem, 3)
+        new = _async_engine(3).solve(problem, 3)
+        np.testing.assert_array_equal(old.weights, new.weights)
+        np.testing.assert_array_equal(old.shared, new.shared)
+        assert [r.gap for r in old.history.records] == [
+            r.gap for r in new.history.records
+        ]
+        assert [r.sim_time for r in old.history.records] == [
+            r.sim_time for r in new.history.records
+        ]
+
+    def test_shim_surface(self):
+        _reset_async_ps_warning()
+        with pytest.warns(DeprecationWarning):
+            shim = AsyncParameterServer(
+                SequentialKernelFactory(), "dual", n_workers=3,
+                batch_fraction=0.25, seed=7,
+            )
+        assert shim.n_workers == 3
+        assert shim.batch_fraction == 0.25
+        assert shim.formulation == "dual"
+        assert shim.seed == 7
+        res = shim.solve(_ridge(), 2)
+        assert shim.name == "AsyncPS[SCD(1 thread) x3, b=0.25, dual]"
+        assert res.solver_name == shim.name
+        assert async_ps_module._ASYNC_PS_WARNED is True
+
+
+# ---------------------------------------------------------------------------
+# the facade's async mode
+# ---------------------------------------------------------------------------
+class TestAsyncFacade:
+    def test_async_has_no_gammas(self):
+        res = _async_engine(3).solve(_ridge(), 3)
+        assert res.gammas == []
+
+    def test_async_converges(self):
+        res = _async_engine(3, bf=1 / 16).solve(_ridge(), 30)
+        assert res.history.final_gap() < 1e-4
+
+    def test_k1_pays_no_network_time(self):
+        res = _async_engine(1).solve(_ridge(), 3)
+        assert res.ledger.get("comm_network") == 0.0
+
+    def test_k3_pays_network_time(self):
+        res = _async_engine(3).solve(_ridge(), 3)
+        assert res.ledger.get("comm_network") > 0.0
+
+    def test_partitions_exactly_once(self):
+        res = _async_engine(3).solve(_ridge(), 2)
+        owned = np.sort(np.concatenate(res.partitions))
+        np.testing.assert_array_equal(owned, np.arange(120))
+
+    @pytest.mark.parametrize(
+        "kw,match",
+        [
+            (dict(comm="carrier-pigeon"), "unknown comm mode"),
+            (dict(comm="async", batch_fraction=0.0), "batch_fraction"),
+            (dict(comm="async", comm_overlap=1.5), "comm_overlap"),
+            (dict(comm="async", staleness_bound=-1), "staleness_bound"),
+            (dict(comm="async", round_fraction=0.5), "round_fraction"),
+        ],
+    )
+    def test_validation(self, kw, match):
+        with pytest.raises(ValueError, match=match):
+            DistributedSCD(
+                SequentialKernelFactory(), "dual", n_workers=2, **kw
+            )
+
+    def test_async_rejects_pcie(self):
+        from repro.perf.link import PCIE3_X16_PINNED
+
+        with pytest.raises(ValueError, match="PCIe"):
+            DistributedSCD(
+                SequentialKernelFactory(), "dual", n_workers=2,
+                comm="async", pcie=PCIE3_X16_PINNED,
+            )
+
+    def test_async_rejects_shards(self, tmp_path):
+        from repro.shards import pack_dataset, ShardStore
+
+        ds = make_webspam_like(60, 80, nnz_per_example=6, seed=3)
+        pack_dataset(ds, tmp_path / "s", axis="rows", n_shards=3)
+        with pytest.raises(ValueError, match="shards"):
+            DistributedSCD(
+                SequentialKernelFactory(), "dual", n_workers=2,
+                comm="async", shards=ShardStore(tmp_path / "s"),
+            )
+
+
+# ---------------------------------------------------------------------------
+# bounded staleness
+# ---------------------------------------------------------------------------
+class TestBoundedStaleness:
+    def test_bound_zero_is_the_default(self):
+        a = _async_engine(3).solve(_ridge(), 3)
+        b = _async_engine(3, staleness_bound=0).solve(_ridge(), 3)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_bound_changes_trajectory(self):
+        a = _async_engine(3, staleness_bound=0).solve(_ridge(), 3)
+        b = _async_engine(3, staleness_bound=4).solve(_ridge(), 3)
+        assert not np.array_equal(a.weights, b.weights)
+
+    def test_bound_reduces_exposed_comm(self):
+        """Skipped pulls expose less communication per cycle."""
+        tight = _async_engine(3, comm_overlap=0.0).solve(_ridge(), 4)
+        loose = _async_engine(
+            3, comm_overlap=0.0, staleness_bound=8
+        ).solve(_ridge(), 4)
+        assert loose.ledger.get("comm_network") < tight.ledger.get(
+            "comm_network"
+        )
+
+    def test_bounded_staleness_still_converges(self):
+        res = _async_engine(
+            3, bf=1 / 16, staleness_bound=4
+        ).solve(_ridge(), 30)
+        assert res.history.final_gap() < 1e-3
+
+    def test_backend_validation(self):
+        from repro.cluster.comm import SimCommunicator
+
+        with pytest.raises(ValueError, match="staleness_bound"):
+            AsyncParamServerBackend(
+                SimCommunicator(2), lambda r: SequentialKernelFactory(),
+                "dual", staleness_bound=-1,
+            )
+
+
+# ---------------------------------------------------------------------------
+# faults: atomic pushes => only dropout and stragglers apply
+# ---------------------------------------------------------------------------
+class TestAsyncFaults:
+    def test_dropout_skips_the_epoch(self):
+        res = _async_engine(
+        3, faults=FaultSpec(dropout_rate=0.5, seed=2)
+        ).solve(_ridge(), 6)
+        assert res.fault_report is not None
+        assert res.fault_report.dropouts > 0
+        # survivor counts track arrivals per epoch, not deliveries
+        assert all(0 <= s <= 3 for s in res.fault_report.survivor_counts)
+        assert np.isfinite(res.history.final_gap())
+
+    def test_stragglers_stretch_sim_time(self):
+        clean = _async_engine(3).solve(_ridge(), 4)
+        slow = _async_engine(
+            3,
+            faults=FaultSpec(straggler_rate=1.0, straggler_multiplier=4.0,
+                             seed=2),
+        ).solve(_ridge(), 4)
+        assert slow.history.records[-1].sim_time > (
+            clean.history.records[-1].sim_time
+        )
+        # straggled compute does not change the trajectory, only the clock
+        np.testing.assert_array_equal(clean.weights, slow.weights)
+
+    def test_all_dropped_epoch_stands_still(self):
+        res = _async_engine(
+            2, faults=FaultSpec(dropout_rate=1.0, seed=1)
+        ).solve(_ridge(), 3)
+        g0 = res.history.records[0].gap
+        assert res.history.final_gap() == pytest.approx(g0)
+
+
+# ---------------------------------------------------------------------------
+# elastic membership through the parameter server
+# ---------------------------------------------------------------------------
+class TestAsyncElastic:
+    def test_join_and_leave_converges(self):
+        problem = _ridge()
+        fixed = _async_engine(3, bf=1 / 16).solve(problem, 12)
+        elastic = _async_engine(
+            3, bf=1 / 16, membership=[(3, "join"), (7, "leave")]
+        ).solve(problem, 12)
+        assert elastic.history.final_gap() <= 2.0 * fixed.history.final_gap()
+        assert [(r.epoch, r.k_before, r.k_after) for r in
+                elastic.membership_log] == [(3, 3, 4), (7, 4, 3)]
+
+    def test_resize_preserves_server_state(self):
+        problem = _ridge()
+        backend = AsyncParamServerBackend(
+            __import__("repro.cluster.comm", fromlist=["SimCommunicator"])
+            .SimCommunicator(3),
+            lambda r: SequentialKernelFactory(), "dual", seed=7,
+        )
+        from repro.obs import resolve_tracer
+
+        tracer = resolve_tracer(None)
+        backend.open(problem, tracer)
+        rng = np.random.default_rng(0)
+        for wk in backend.workers:
+            wk["weights"][:] = rng.standard_normal(wk["weights"].shape[0])
+        before = backend.global_weights(problem)
+        backend.resize(problem, tracer, 5)
+        np.testing.assert_array_equal(before, backend.global_weights(problem))
+        owned = np.sort(
+            np.concatenate([wk["coords"] for wk in backend.workers])
+        )
+        np.testing.assert_array_equal(owned, np.arange(problem.n))
+
+
+# ---------------------------------------------------------------------------
+# the train() front door
+# ---------------------------------------------------------------------------
+class TestTrainFrontDoor:
+    def test_train_comm_async(self):
+        res = repro.train(
+            _ridge(), "distributed", formulation="dual", comm="async",
+            n_workers=3, batch_fraction=0.25, n_epochs=3, seed=7,
+        )
+        assert res.solver_name.startswith("AsyncPS[")
+        direct = _async_engine(3).solve(_ridge(), 3)
+        np.testing.assert_array_equal(res.weights, direct.weights)
+
+    def test_train_rejects_unknown_comm(self):
+        with pytest.raises(ValueError, match="unknown comm mode"):
+            repro.train(_ridge(), "distributed", comm="smoke-signals")
+
+    def test_train_syscd_local_solver(self):
+        res = repro.train(
+            _ridge(), "distributed", formulation="dual",
+            local_solver="syscd", n_threads=2, n_workers=2, n_epochs=3,
+        )
+        assert "SySCD" in res.solver_name or "Syscd" in res.solver_name
+
+    def test_train_elastic(self):
+        res = repro.train(
+            _ridge(), "distributed", formulation="dual", n_workers=2,
+            membership=[(2, "join")], n_epochs=3,
+        )
+        assert len(res.membership_log) == 1

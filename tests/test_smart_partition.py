@@ -8,8 +8,11 @@ from repro.cluster.smart_partition import (
     communities_of,
     cooccurrence_graph,
     correlation_aware_partition,
+    load_proportional_partition,
+    make_capacity_partitioner,
     make_correlation_partitioner,
     pack_communities,
+    validate_capacities,
 )
 from repro.core import DistributedSCD
 from repro.data import make_block_correlated
@@ -167,3 +170,56 @@ class TestEndToEnd:
             )
             results[label] = eng.solve(problem, 8).history.final_gap()
         assert results["smart"] < results["random"]
+
+
+class TestLoadProportionalPartition:
+    """Degenerate capacity inputs raise pointed errors, never empty shards."""
+
+    def test_zero_capacity_rank_rejected(self):
+        with pytest.raises(ValueError, match="zero or non-positive capacity"):
+            load_proportional_partition(
+                100, [2.0, 0.0, 1.0], np.random.default_rng(0)
+            )
+        with pytest.raises(ValueError, match=r"rank\(s\) \[1, 2\]"):
+            validate_capacities([1.0, -3.0, 0.0], 100)
+
+    def test_more_ranks_than_rows_rejected(self):
+        with pytest.raises(ValueError, match="more ranks than rows"):
+            load_proportional_partition(
+                3, [1.0, 1.0, 1.0, 1.0], np.random.default_rng(0)
+            )
+
+    def test_empty_capacities_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_capacities([], 10)
+
+    def test_shares_track_capacity(self):
+        parts = load_proportional_partition(
+            120, [3.0, 1.0], np.random.default_rng(0)
+        )
+        assert len(parts[0]) == 90 and len(parts[1]) == 30
+        owned = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(owned, np.arange(120))
+
+    def test_every_rank_gets_work_under_extreme_skew(self):
+        parts = load_proportional_partition(
+            50, [1000.0, 1.0, 1.0], np.random.default_rng(0)
+        )
+        assert all(len(p) >= 1 for p in parts)
+
+    def test_capacity_partitioner_adapter(self):
+        part = make_capacity_partitioner([2.0, 1.0])
+        parts = part(90, 2, np.random.default_rng(0))
+        assert len(parts[0]) == 60
+        with pytest.raises(ValueError, match="built for 2 ranks"):
+            part(90, 3, np.random.default_rng(0))
+
+    def test_pack_communities_capacity_weighted(self):
+        comms = [np.array([i]) for i in range(30)]
+        parts = pack_communities(comms, 2, capacities=[2.0, 1.0])
+        assert len(parts[0]) == 20 and len(parts[1]) == 10
+
+    def test_pack_communities_capacity_count_mismatch(self):
+        comms = [np.array([i]) for i in range(10)]
+        with pytest.raises(ValueError, match="2 capacities for 3 parts"):
+            pack_communities(comms, 3, capacities=[1.0, 1.0])

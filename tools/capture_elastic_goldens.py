@@ -1,0 +1,37 @@
+"""Capture the golden fingerprints for the elastic/async runtime suite.
+
+Runs every scenario in ``tests/elastic_scenarios.py`` against the engines as
+currently checked out and writes ``tests/data/elastic_goldens.json``.  Run
+this ONLY from a tree whose trajectories are known-good (it was run once
+when the async CommBackend and the Membership seam landed, to freeze the
+new deterministic schedules alongside the static-membership matrix).
+
+    PYTHONPATH=src python tools/capture_elastic_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from tests.elastic_scenarios import ELASTIC_SCENARIOS, run_elastic_scenario  # noqa: E402
+
+
+def main() -> None:
+    out_path = REPO / "tests" / "data" / "elastic_goldens.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    goldens: dict = {}
+    for name in ELASTIC_SCENARIOS:
+        goldens[name] = run_elastic_scenario(name)
+        print(f"captured {name}: weights {goldens[name]['weights'][:12]}…")
+    out_path.write_text(json.dumps(goldens, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(goldens)} scenarios to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

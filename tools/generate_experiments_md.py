@@ -59,6 +59,7 @@ _FIGURE_IDS = (
     "headline",
     "serving",
     "syscd",
+    "elastic",
 )
 
 
@@ -167,6 +168,32 @@ def serving_section(fig) -> list[str]:
         "falls at every swap ✓",
         f"- modelled latency: p50 {m['p50_latency_s'] * 1e3:.2f} ms, "
         f"p99 {m['p99_latency_s'] * 1e3:.2f} ms",
+        "",
+    ]
+
+
+def elastic_section(fig) -> list[str]:
+    """The elastic-membership scenario, from the ``elastic`` driver."""
+    m = fig.meta
+    return [
+        "## Elastic cluster membership (`repro.train(..., membership=...)`)",
+        "",
+        "The same seeded problem trained with a fixed worker pool and with "
+        "one mid-run departure plus one later join, through the runtime's "
+        "Membership seam (`docs/elasticity.md`):",
+        "",
+        f"- K={m['workers']} ({m['comm']}), leave at epoch "
+        f"{m['leave_epoch']}, join at epoch {m['join_epoch']} "
+        f"({m['membership_changes']} membership changes applied)",
+        f"- final duality gap: fixed {fmt(m['final_gap_fixed'])}, elastic "
+        f"{fmt(m['final_gap_elastic'])} -> ratio "
+        f"{fmt(m['gap_ratio'])}x (acceptance gate: within 2x "
+        f"{'✓' if m['within_2x'] else '✗'})",
+        "- static-membership trajectories stay bitwise "
+        "(`tests/test_runtime.py`); elastic/async schedules pinned by "
+        "`tests/test_elastic_goldens.py`",
+        "- sweep sync/async and rebalance cadence into an HTML report with "
+        "`python -m repro eval configs/elastic.toml`",
         "",
     ]
 
@@ -551,6 +578,7 @@ def main() -> None:
 
     lines += kernel_runtime_section()
     lines += syscd_section(figs["syscd"])
+    lines += elastic_section(figs["elastic"])
     lines += serving_section(figs["serving"])
 
     lines += markdown_footer(collect_provenance(seeds=[0]))
